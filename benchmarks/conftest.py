@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, printing
+the same rows/series the paper reports and asserting its *shape* properties
+(orderings, ratios, crossovers).  Heavy experiments run exactly once via
+``benchmark.pedantic(..., rounds=1)`` so the suite stays tractable.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup
+
+#: Trace length per (locality, system) point; 8 warm-up + 6 steady samples.
+BENCH_BATCHES = 14
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """Full paper-scale experiment setup, shared across benchmarks."""
+    return ExperimentSetup(num_batches=BENCH_BATCHES)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,38 @@
+"""Figure 3 — sorted access counts of embedding-table entries.
+
+Regenerates the long-tail access-count curves for the four dataset profiles
+(Alibaba, Kaggle Anime, MovieLens, Criteo) and asserts the paper's
+characterisation: every dataset is power-law, with Criteo the most and
+Alibaba the least concentrated.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.experiments import fig3_access_counts
+from repro.analysis.report import banner, format_series
+
+
+def test_fig3_access_counts(benchmark):
+    curves = run_once(
+        benchmark,
+        lambda: fig3_access_counts(
+            num_rows=10_000_000, total_accesses=10**8, n_points=1000
+        ),
+    )
+
+    print(banner("Figure 3: sorted access counts (expected, 100M accesses)"))
+    ranks = [0, 9, 99, 999]
+    for name, curve in curves.items():
+        print(format_series(
+            name, [f"rank{r}" for r in ranks], [curve[r] for r in ranks],
+            y_format="{:.0f}",
+        ))
+
+    # Shape: all curves strictly descending power laws.
+    for name, curve in curves.items():
+        assert np.all(np.diff(curve) <= 0), name
+    # Criteo's head is the most concentrated, Alibaba's the least.
+    heads = {name: curve[0] / curve[-1] for name, curve in curves.items()}
+    assert heads["Criteo"] > heads["Kaggle Anime"] > heads["Alibaba"]
+    assert heads["MovieLens"] > heads["Alibaba"]

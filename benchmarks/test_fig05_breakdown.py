@@ -1,0 +1,46 @@
+"""Figure 5 — training-time breakdown of hybrid vs static caches.
+
+Regenerates the stacked-bar data: per-iteration time split into CPU
+embedding forward, CPU embedding backward and GPU stages, for the no-cache
+hybrid and for static caches holding the top 2% / 10% of each table, across
+the four locality classes.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import fig5_breakdown
+from repro.analysis.report import banner, format_breakdown
+from repro.systems.base import CPU_EMB_BACKWARD, CPU_EMB_FORWARD
+
+
+def test_fig5_breakdown(benchmark, setup):
+    out = run_once(benchmark, lambda: fig5_breakdown(setup))
+
+    print(banner("Figure 5: training-time breakdown (ms)"))
+    for locality, designs in out.items():
+        for design, groups in designs.items():
+            print(format_breakdown(f"{locality:7s} {design:10s}", groups))
+
+    for locality, designs in out.items():
+        hybrid_total = sum(designs["hybrid"].values())
+        static2_total = sum(designs["static_2%"].values())
+        static10_total = sum(designs["static_10%"].values())
+        # The paper: hybrid sits around 150-200 ms; caching helps, larger
+        # caches help more (weakly for random).
+        assert 0.120 < hybrid_total < 0.260, (locality, hybrid_total)
+        assert static10_total <= static2_total * 1.02, locality
+        # CPU-side embedding work dominates the hybrid baseline.
+        cpu = (designs["hybrid"][CPU_EMB_FORWARD]
+               + designs["hybrid"][CPU_EMB_BACKWARD])
+        assert cpu > 0.6 * hybrid_total, locality
+
+    # For the high-locality trace a 2% static cache slashes CPU time; for
+    # the random trace it barely moves (the paper's central observation).
+    def cpu_share(designs, key):
+        groups = designs[key]
+        return groups[CPU_EMB_FORWARD] + groups[CPU_EMB_BACKWARD]
+
+    high_gain = cpu_share(out["high"], "hybrid") / cpu_share(out["high"], "static_2%")
+    random_gain = (cpu_share(out["random"], "hybrid")
+                   / cpu_share(out["random"], "static_2%"))
+    assert high_gain > 2.0
+    assert random_gain < 1.3

@@ -1,0 +1,76 @@
+"""Figure 6 — static-cache hit rate as a function of cache size.
+
+Regenerates the four hit-rate curves and asserts the properties the paper
+reads off them: Criteo saturates with a tiny cache while Alibaba needs the
+majority of the table resident to pass 90%.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.experiments import fig6_hit_rate
+from repro.analysis.report import banner, format_series
+
+
+def test_fig6_hit_rate(benchmark):
+    fractions, curves = run_once(
+        benchmark,
+        lambda: fig6_hit_rate(cache_fractions=np.linspace(0.01, 1.0, 100)),
+    )
+
+    print(banner("Figure 6: static-cache hit rate vs cache size"))
+    picks = [1, 9, 24, 49, 99]
+    for name, curve in curves.items():
+        print(format_series(
+            name,
+            [f"{fractions[i]:.0%}" for i in picks],
+            [curve[i] for i in picks],
+            y_format="{:.2f}",
+        ))
+
+    for name, curve in curves.items():
+        assert np.all(np.diff(curve) >= -1e-12), name
+        assert curve[-1] == 1.0
+
+    # Criteo: small caches give most of the benefit; growing the cache adds
+    # little (Figure 6(d)).
+    criteo = curves["Criteo"]
+    assert criteo[1] > 0.8
+    assert criteo[49] - criteo[1] < 0.2
+
+    # Alibaba: >90% hit rate needs well over half the table (Figure 6(a)).
+    alibaba = curves["Alibaba"]
+    first_over_90 = fractions[np.argmax(alibaba >= 0.9)]
+    assert first_over_90 > 0.6
+
+
+def test_fig6d_per_table_curves(benchmark):
+    """Figure 6(d): per-table hit-rate curves of the Criteo-like profile."""
+    from repro.data.datasets import criteo_table_distributions
+
+    def experiment():
+        fractions = np.linspace(0.01, 1.0, 50)
+        dists = criteo_table_distributions(10_000_000)
+        return fractions, {
+            t: np.array([d.hit_rate(f) for f in fractions])
+            for t, d in dists.items()
+        }
+
+    fractions, curves = run_once(benchmark, experiment)
+
+    print(banner("Figure 6(d): per-table hit rate (Criteo-like profile)"))
+    picks = [0, 9, 24, 49]
+    for table in sorted(curves):
+        print(format_series(
+            f"Table {table}",
+            [f"{fractions[i]:.0%}" for i in picks],
+            [curves[table][i] for i in picks],
+            y_format="{:.2f}",
+        ))
+
+    # The hottest table saturates with a tiny cache; the coldest needs the
+    # majority of its rows resident (the visual spread of Figure 6(d)).
+    assert curves[0][0] > 0.8
+    assert curves[21][24] < 0.75
+    for table, curve in curves.items():
+        assert np.all(np.diff(curve) >= -1e-12), table

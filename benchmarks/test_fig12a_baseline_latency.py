@@ -1,0 +1,32 @@
+"""Figure 12(a) — latency breakdown of baseline and static caches (0-10%).
+
+Regenerates the per-group latency of the no-cache hybrid (the 0% column)
+and static caches sized 2-10%, for the four locality classes.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import fig12a_baseline_latency
+from repro.analysis.report import banner, format_breakdown
+
+
+def test_fig12a_baseline_latency(benchmark, setup):
+    out = run_once(benchmark, lambda: fig12a_baseline_latency(setup))
+
+    print(banner("Figure 12(a): baseline/static-cache latency breakdown (ms)"))
+    for locality, designs in out.items():
+        for size, groups in designs.items():
+            print(format_breakdown(f"{locality:7s} cache={size:4s}", groups))
+
+    for locality, designs in out.items():
+        totals = {size: sum(groups.values()) for size, groups in designs.items()}
+        # Larger static caches are never slower.
+        assert totals["10%"] <= totals["2%"] * 1.02, locality
+        assert totals["2%"] <= totals["0%"] * 1.05, locality
+
+    # High-locality traces benefit dramatically; random traces barely move —
+    # static caching "fails to overcome the fundamental limitations".
+    random_gain = (sum(out["random"]["0%"].values())
+                   / sum(out["random"]["10%"].values()))
+    high_gain = sum(out["high"]["0%"].values()) / sum(out["high"]["10%"].values())
+    assert high_gain > 2.0
+    assert random_gain < 1.5

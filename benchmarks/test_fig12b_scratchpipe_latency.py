@@ -1,0 +1,38 @@
+"""Figure 12(b) — ScratchPipe per-stage pipeline latency.
+
+Regenerates the Plan/Collect/Exchange/Insert/Train stage latencies for
+cache sizes 2-10% across the four locality classes, and asserts the
+paper's reading: CPU interaction is confined to [Collect]/[Insert], whose
+cost shrinks as locality grows, leaving embedding training at GPU speed.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import fig12b_scratchpipe_latency
+from repro.analysis.report import banner, format_breakdown
+
+
+def test_fig12b_scratchpipe_latency(benchmark, setup):
+    out = run_once(benchmark, lambda: fig12b_scratchpipe_latency(setup))
+
+    print(banner("Figure 12(b): ScratchPipe per-stage latency (ms)"))
+    for locality, sizes in out.items():
+        for size, stages in sizes.items():
+            print(format_breakdown(f"{locality:7s} cache={size:4s}", stages))
+
+    for locality, sizes in out.items():
+        for size, stages in sizes.items():
+            assert set(stages) == {"plan", "collect", "exchange", "insert",
+                                   "train"}
+            # Plan is bookkeeping: always cheap relative to the total.
+            assert stages["plan"] < 0.25 * sum(stages.values())
+
+    # CPU-side stage cost (Collect/Insert) falls with locality: higher hit
+    # rates mean fewer misses to collect and fewer victims to write back.
+    for size in out["random"]:
+        assert out["high"][size]["collect"] < out["random"][size]["collect"]
+        assert out["high"][size]["insert"] < out["random"][size]["insert"]
+
+    # Stacked totals land in the paper's 0-70 ms plotting range.
+    for locality, sizes in out.items():
+        for size, stages in sizes.items():
+            assert sum(stages.values()) < 0.120, (locality, size)

@@ -1,0 +1,54 @@
+"""Figure 13 — end-to-end speedup of all four designs (vs static cache).
+
+The paper's headline result: ScratchPipe achieves an average 2.8x (max
+4.2x) speedup over the static GPU embedding cache, with the margin
+narrowing as dataset locality grows — yet still 1.6-1.9x on high-locality
+traces.  The straw-man lands between the static cache and ScratchPipe.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.experiments import fig13_speedup
+from repro.analysis.report import banner, format_table
+
+
+def test_fig13_speedup(benchmark, setup):
+    points = run_once(benchmark, lambda: fig13_speedup(setup))
+
+    print(banner("Figure 13: speedup normalised to static cache"))
+    rows = []
+    for p in points:
+        s = p.speedups()
+        rows.append([
+            p.locality, f"{p.cache_fraction:.0%}",
+            f"{s['hybrid']:.2f}", "1.00",
+            f"{s['strawman']:.2f}", f"{s['scratchpipe']:.2f}",
+            f"{p.scratchpipe_s * 1e3:.1f}ms",
+        ])
+    print(format_table(
+        ["locality", "cache", "hybrid", "static", "strawman", "scratchpipe",
+         "SP latency"],
+        rows,
+    ))
+
+    sp = {(p.locality, p.cache_fraction): p.speedups() for p in points}
+
+    # ScratchPipe beats every other design at every point.
+    for key, speedups in sp.items():
+        assert speedups["scratchpipe"] > speedups["strawman"], key
+        assert speedups["strawman"] > speedups["hybrid"], key
+        assert speedups["scratchpipe"] > 1.3, key
+
+    # Paper magnitudes: max ~4.2x; high-locality still >= ~1.6x; average
+    # in the low single digits.
+    all_sp = [s["scratchpipe"] for s in sp.values()]
+    assert 3.0 < max(all_sp) < 6.5
+    assert np.mean(all_sp) > 2.0
+    high_sp = [s["scratchpipe"] for (loc, f), s in sp.items() if loc == "high"]
+    assert min(high_sp) > 1.4
+
+    # Speedup declines with locality (random > low > high) at 2% cache.
+    at_2 = {loc: sp[(loc, 0.02)]["scratchpipe"]
+            for loc in ("random", "low", "medium", "high")}
+    assert at_2["random"] > at_2["medium"] > at_2["high"]

@@ -1,0 +1,37 @@
+"""Figure 14 — energy consumption: static cache vs ScratchPipe.
+
+The paper aggregates CPU socket power (pcm-power) and GPU board power
+(nvidia-smi) over the iteration time; ScratchPipe's shorter iterations
+translate directly into lower Joules per iteration across all localities.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import fig14_energy
+from repro.analysis.report import banner, format_table
+
+
+def test_fig14_energy(benchmark, setup):
+    out = run_once(benchmark, lambda: fig14_energy(setup))
+
+    print(banner("Figure 14: energy per iteration (J)"))
+    rows = [
+        [locality, f"{e['static_cache']:.1f}", f"{e['scratchpipe']:.1f}",
+         f"{e['static_cache'] / e['scratchpipe']:.2f}x"]
+        for locality, e in out.items()
+    ]
+    print(format_table(["locality", "static cache", "scratchpipe", "ratio"],
+                       rows))
+
+    for locality, energies in out.items():
+        # ScratchPipe always consumes less energy per iteration.
+        assert energies["scratchpipe"] < energies["static_cache"], locality
+        # Figure 14's y-axis runs 0-80 J; both designs land inside it.
+        assert energies["static_cache"] < 90, locality
+        assert energies["scratchpipe"] > 1, locality
+
+    # The energy gap narrows with locality, mirroring the speedup trend.
+    ratio = {
+        locality: e["static_cache"] / e["scratchpipe"]
+        for locality, e in out.items()
+    }
+    assert ratio["random"] > ratio["high"]

@@ -1,0 +1,48 @@
+"""Figure 15(a) — sensitivity to the embedding vector dimension (64-256).
+
+The paper: ScratchPipe's benefit persists across dimensions, with larger
+dimensions yielding *larger* speedups because the baseline suffers more
+from the increased memory-bandwidth pressure.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.experiments import fig15a_dim_sensitivity
+from repro.analysis.report import banner, format_table
+
+DIMS = (64, 128, 256)
+
+
+def test_fig15a_dim_sensitivity(benchmark, setup):
+    points = run_once(
+        benchmark, lambda: fig15a_dim_sensitivity(dims=DIMS, base=setup)
+    )
+
+    print(banner("Figure 15(a): speedup vs embedding dimension"))
+    rows = [
+        [p.locality, f"{p.speedups()['hybrid']:.2f}", "1.00",
+         f"{p.speedups()['strawman']:.2f}",
+         f"{p.speedups()['scratchpipe']:.2f}"]
+        for p in points
+    ]
+    print(format_table(
+        ["locality/dim", "hybrid", "static", "strawman", "scratchpipe"], rows
+    ))
+
+    by_key = {p.locality: p.speedups()["scratchpipe"] for p in points}
+    # Benefits intact at every dimension (the paper's core claim).
+    assert all(v > 1.5 for v in by_key.values())
+    # For the train-bound high-locality trace, larger dimensions shift the
+    # bottleneck toward the memory system and the speedup grows strongly —
+    # the paper's headline trend.
+    assert by_key["high/dim=256"] > by_key["high/dim=128"] > by_key["high/dim=64"]
+    # For the already-bandwidth-bound traces both the baseline and
+    # ScratchPipe scale with the row size, so the ratio stays in a narrow
+    # band (documented deviation: the paper reports a mild further increase
+    # that our analytic model attributes to fixed framework overheads in
+    # the measured baseline).
+    for locality in ("random", "low", "medium"):
+        small = by_key[f"{locality}/dim=64"]
+        large = by_key[f"{locality}/dim=256"]
+        assert abs(large - small) / small < 0.15, locality

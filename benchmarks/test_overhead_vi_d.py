@@ -1,0 +1,50 @@
+"""Section VI-D — implementation overhead of the GPU scratchpad.
+
+Reproduces the paper's capacity arithmetic: the Storage array must cover
+the worst-case working set of the six in-flight mini-batches (960 MB under
+the default configuration), with the Hit-Map and miscellaneous structures
+bringing the total below 4 GB of GPU memory.
+"""
+
+from conftest import run_once
+from repro.analysis.experiments import overhead_vi_d
+from repro.analysis.report import banner, format_table
+from repro.core.scratchpad import required_slots
+from repro.model.config import ModelConfig
+
+
+def test_overhead_vi_d(benchmark):
+    out = run_once(benchmark, overhead_vi_d)
+
+    print(banner("Section VI-D: GPU scratchpad implementation overhead"))
+    print(format_table(
+        ["component", "bytes", "MB"],
+        [
+            [name, f"{int(v)}", f"{v / 1e6:.0f}"]
+            for name, v in out.items()
+        ],
+    ))
+
+    # The paper's exact worst-case expression:
+    # (8 tables x 20 gathers x 2048 batch x 128-dim x 4 B) x 6 batches.
+    assert out["storage_worst_case_bytes"] == 8 * 20 * 2048 * 128 * 4 * 6
+    # "<1 GB" Hit-Map, "<300 MB" miscellaneous, "<4 GB" aggregate.
+    assert out["hitmap_bytes"] < 1e9
+    assert out["misc_bytes"] <= 300e6
+    assert out["total_bytes"] < 4e9
+
+
+def test_required_slots_fits_default_cache(benchmark):
+    """The 2% cache of the default model satisfies the steady-state hold
+    bound (~4x the per-batch unique IDs), while the 6-batch worst case
+    exceeds it — matching the paper's remark that the *actual* working set
+    is far below the provisioned worst case."""
+    config = ModelConfig()
+    worst = run_once(benchmark, lambda: required_slots(config, window_batches=6))
+    cache_slots = int(0.02 * config.rows_per_table)
+    per_batch = config.lookups_per_table * config.batch_size
+    print(f"\nworst-case slots/table={worst}  2%-cache slots={cache_slots}  "
+          f"per-batch lookups={per_batch}")
+    assert worst == 6 * per_batch
+    assert cache_slots > 4 * per_batch
+    assert worst > cache_slots

@@ -1,0 +1,45 @@
+"""Model-vs-simulation cross-validation (reproduction hygiene).
+
+Not a paper figure: verifies that the analytic layer (closed-form hit
+rates, capacity bounds) and the functional simulator (actual Hit-Map /
+Hold-mask machinery over sampled traces) agree — the precondition for
+trusting every reproduced figure above.
+"""
+
+from conftest import run_once
+from repro.analysis.report import banner, format_table
+from repro.analysis.validation import run_validation_suite
+from repro.model.config import ModelConfig
+
+
+def test_validation_suite(benchmark, setup):
+    # A reduced model keeps the dynamic-cache fill time tractable while
+    # using the same machinery as the full-scale benches.
+    config = ModelConfig(
+        num_tables=2,
+        rows_per_table=400_000,
+        embedding_dim=32,
+        lookups_per_table=4,
+        batch_size=256,
+        bottom_mlp=(64, 32),
+        top_mlp=(64, 1),
+    )
+    reports = run_once(
+        benchmark, lambda: run_validation_suite(config, setup.hardware)
+    )
+
+    print(banner("Cross-validation: analytic model vs functional simulator"))
+    rows = [
+        [name, f"{r.predicted:.4g}", f"{r.measured:.4g}",
+         f"{r.absolute_error:.4g}"]
+        for name, r in reports.items()
+    ]
+    print(format_table(["quantity", "predicted", "measured", "abs error"],
+                       rows))
+
+    for name, report in reports.items():
+        if "hit rate" in name:
+            assert report.within(0.08), (name, report)
+        if "working set" in name:
+            # The Section VI-D bound must dominate the live working set.
+            assert report.measured <= report.predicted, (name, report)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Locality study: reproduce the analysis behind Figures 3 and 6.
+
+Characterises the four dataset profiles (Alibaba, Kaggle Anime, MovieLens,
+Criteo) the paper uses to motivate — and then stress — embedding caches:
+sorted access-count curves, static-cache hit-rate curves, and a check of the
+two anchor points Section III-A quotes.
+
+Run:  python examples/locality_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.analysis.locality import (
+    dataset_hit_rate_curves,
+    empirical_hit_rate,
+)
+from repro.data import DATASET_PROFILES, make_dataset
+from repro.model import ModelConfig
+
+NUM_ROWS = 10_000_000
+
+
+def access_share_table() -> None:
+    """What share of traffic do the hottest rows capture?"""
+    fractions = [0.001, 0.01, 0.02, 0.10, 0.50]
+    rows = []
+    for profile in DATASET_PROFILES:
+        dist = profile.distribution(NUM_ROWS)
+        rows.append(
+            [profile.name]
+            + [f"{dist.hit_rate(f):.1%}" for f in fractions]
+        )
+    headers = ["dataset"] + [f"top {f:.1%}" for f in fractions]
+    print("\nTraffic captured by hottest rows (Figure 3's long tail):")
+    print(format_table(headers, rows))
+
+
+def hit_rate_curves() -> None:
+    """Figure 6: static-cache hit rate vs cache size."""
+    fractions = np.array([0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00])
+    curves = dataset_hit_rate_curves(fractions, NUM_ROWS)
+    print("\nStatic-cache hit rate vs cache size (Figure 6):")
+    for name, curve in curves.items():
+        xs = [f"{f:.0%}" for f in fractions]
+        print("  " + format_series(name, xs, curve, y_format="{:.2f}"))
+
+
+def anchor_points() -> None:
+    """Verify the Section III-A quotes and compare with a sampled trace."""
+    config = ModelConfig(num_tables=1, rows_per_table=NUM_ROWS,
+                         bottom_mlp=(512, 256, 128))
+    print("\nSection III-A anchor points (analytic vs sampled trace):")
+    for locality, quote in (("high", "Criteo: 2% of rows -> >80% of traffic"),
+                            ("low", "Alibaba: 2% of rows -> 8.5%")):
+        dataset = make_dataset(config, locality, seed=0, num_batches=2)
+        measured = empirical_hit_rate(dataset, 0.02, num_batches=2)
+        print(f"  {quote:45s} measured {measured:.1%}")
+
+
+def main() -> None:
+    access_share_table()
+    hit_rate_curves()
+    anchor_points()
+    print("\nTakeaway: for low-locality datasets, >90% hit rates need the")
+    print("majority of the table cached — impossible in tens-of-GB HBM,")
+    print("which is why the paper replaces popularity caching with")
+    print("look-ahead prefetching.")
+
+
+if __name__ == "__main__":
+    main()

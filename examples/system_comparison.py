@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare the four training-system designs on the paper's workload.
+
+Runs the hybrid CPU-GPU baseline, the static top-N cache, the unpipelined
+straw-man and the pipelined ScratchPipe over the paper's default model
+(8 tables x 10M rows x 128-d, 20 lookups, batch 2048) for each locality
+class, and prints per-iteration latency, the speedup over the static cache
+(Figure 13's metric) and energy per iteration (Figure 14).
+
+Run:  python examples/system_comparison.py          (takes ~1 minute)
+"""
+
+from repro import ExperimentSetup
+from repro.analysis import format_table
+from repro.data import LOCALITY_CLASSES
+from repro.systems import (
+    HybridSystem,
+    ScratchPipeSystem,
+    StaticCacheSystem,
+    StrawmanSystem,
+)
+
+CACHE_FRACTION = 0.02
+WARMUP = 8
+
+
+def main() -> None:
+    setup = ExperimentSetup(num_batches=14)
+    config, hardware = setup.config, setup.hardware
+    print(f"Workload: {config.num_tables} tables x "
+          f"{config.rows_per_table / 1e6:.0f}M rows x {config.embedding_dim}-d"
+          f" = {config.model_bytes / 1e9:.0f} GB model, "
+          f"{CACHE_FRACTION:.0%} GPU cache")
+
+    rows = []
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        hybrid = HybridSystem(config, hardware).run_trace(trace)
+        static = StaticCacheSystem(config, hardware, CACHE_FRACTION).run_trace(trace)
+        strawman = StrawmanSystem(config, hardware, CACHE_FRACTION).run_trace(trace)
+        scratchpipe = ScratchPipeSystem(config, hardware, CACHE_FRACTION).run_trace(trace)
+
+        static_ms = static.mean_latency(0) * 1e3
+        sp_ms = scratchpipe.mean_latency(WARMUP) * 1e3
+        rows.append([
+            locality,
+            f"{hybrid.mean_latency(0) * 1e3:7.1f}",
+            f"{static_ms:7.1f}",
+            f"{strawman.mean_latency(WARMUP) * 1e3:7.1f}",
+            f"{sp_ms:7.1f}",
+            f"{static_ms / sp_ms:4.2f}x",
+            f"{static.mean_energy(0):5.1f}",
+            f"{scratchpipe.mean_energy(WARMUP):5.1f}",
+        ])
+
+    print()
+    print(format_table(
+        ["locality", "hybrid ms", "static ms", "strawman ms",
+         "scratchpipe ms", "SP speedup", "static J", "SP J"],
+        rows,
+    ))
+    print("\nPaper reference: ScratchPipe achieves 2.8x average (4.2x max)")
+    print("over the static cache, shrinking as dataset locality grows.")
+
+
+if __name__ == "__main__":
+    main()

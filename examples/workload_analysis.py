@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Workload analysis: size a cache for your own trace.
+
+Uses the trace-statistics toolkit (reuse distances, working sets, head
+weight) to analyse an embedding trace the way a capacity planner would:
+what any LRU cache could possibly hit, how much Storage the ScratchPipe
+sliding window needs, and why hit rate alone is the wrong metric to chase.
+
+Run:  python examples/workload_analysis.py [--locality high]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import required_slots
+from repro.data import make_dataset, trace_stats, lru_hit_rate_curve
+from repro.data.stats import working_set_curve
+from repro.model import ModelConfig
+
+NUM_BATCHES = 10
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--locality", default="high",
+                        choices=["random", "low", "medium", "high"])
+    args = parser.parse_args()
+
+    config = ModelConfig(
+        num_tables=1,
+        rows_per_table=1_000_000,
+        lookups_per_table=8,
+        batch_size=1024,
+        bottom_mlp=(512, 256, 128),
+    )
+    dataset = make_dataset(config, args.locality, seed=0,
+                           num_batches=NUM_BATCHES)
+    batches = [dataset.batch(i).table_ids(0) for i in range(NUM_BATCHES)]
+    ids = np.concatenate(batches)
+
+    stats = trace_stats(ids)
+    print(f"trace: {args.locality} locality, {stats.total_lookups} lookups, "
+          f"{stats.unique_rows} distinct rows")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["single-use rows (uncacheable tail)",
+             f"{stats.single_use_fraction:.1%}"],
+            ["mean gathers per touched row", f"{stats.mean_duplication:.2f}"],
+            ["lookups on hottest 1% of rows", f"{stats.top_1pct_share:.1%}"],
+        ],
+    ))
+
+    capacities = [1_000, 10_000, 100_000, 1_000_000]
+    curve = lru_hit_rate_curve(ids, capacities)
+    print("\nexact LRU hit rate by capacity (reuse-distance method):")
+    print(format_table(
+        ["capacity (rows)", "hit rate"],
+        [[f"{c:,}", f"{h:.1%}"] for c, h in zip(capacities, curve)],
+    ))
+
+    window = working_set_curve(batches, window_batches=6)
+    bound = required_slots(config, window_batches=6)
+    print(f"\nScratchPipe sliding-window working set: "
+          f"max {window.max():,} rows (live)")
+    print(f"Section VI-D provisioning bound:        {bound:,} rows")
+    print(f"headroom: {bound / window.max():.2f}x — the paper's worst-case "
+          "bound comfortably covers the live set")
+    print("\nNote the ceiling: even an infinite LRU cache cannot hit the "
+          f"{stats.single_use_fraction:.0%} single-use tail.  ScratchPipe "
+          "sidesteps the ceiling entirely — misses are prefetched ahead of "
+          "use, so they cost bandwidth, not stalls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim enabling legacy editable installs where the ``wheel``
+package is unavailable (offline environments):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

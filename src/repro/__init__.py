@@ -1,0 +1,100 @@
+"""repro — a reproduction of "Training Personalized Recommendation Systems
+from (GPU) Scratch: Look Forward not Backwards" (Kwon & Rhu, ISCA 2022).
+
+Public API tour
+---------------
+* ``repro.model``    — numpy DLRM: embeddings, MLPs, interaction, SGD.
+* ``repro.data``     — power-law access distributions, dataset profiles,
+  synthetic traces, the look-forward loader.
+* ``repro.core``     — ScratchPipe's Hit-Map, Hold mask, scratchpad,
+  straw-man cache and the 6-stage pipeline.
+* ``repro.systems``  — the four end-to-end design points plus the 8-GPU
+  baseline, each producing per-iteration latency/energy breakdowns.
+* ``repro.hardware`` — the analytic Xeon + V100 + PCIe timing substrate.
+* ``repro.analysis`` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import ExperimentSetup, fig13_speedup
+    for point in fig13_speedup(ExperimentSetup(num_batches=12)):
+        print(point.locality, point.cache_fraction, point.speedups())
+"""
+
+from repro.analysis import (
+    CACHE_FRACTIONS,
+    ExperimentSetup,
+    SpeedupPoint,
+    fig3_access_counts,
+    fig5_breakdown,
+    fig6_hit_rate,
+    fig12a_baseline_latency,
+    fig12b_scratchpipe_latency,
+    fig13_speedup,
+    fig14_energy,
+    fig15a_dim_sensitivity,
+    fig15b_lookup_sensitivity,
+    table1_cost,
+)
+from repro.core import (
+    GpuScratchpad,
+    HazardMonitor,
+    HitMap,
+    HoldMask,
+    ScratchPipePipeline,
+    StrawmanCache,
+    required_slots,
+)
+from repro.data import LookaheadLoader, MiniBatch, SyntheticDataset, make_dataset
+from repro.hardware import DEFAULT_HARDWARE, CostModel, HardwareSpec
+from repro.model import DLRMModel, DenseNetwork, ModelConfig, tiny_config
+from repro.systems import (
+    HybridSystem,
+    MultiGpuSystem,
+    ScratchPipeSystem,
+    ScratchPipeTrainingRun,
+    StaticCacheSystem,
+    StrawmanSystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHE_FRACTIONS",
+    "ExperimentSetup",
+    "SpeedupPoint",
+    "fig3_access_counts",
+    "fig5_breakdown",
+    "fig6_hit_rate",
+    "fig12a_baseline_latency",
+    "fig12b_scratchpipe_latency",
+    "fig13_speedup",
+    "fig14_energy",
+    "fig15a_dim_sensitivity",
+    "fig15b_lookup_sensitivity",
+    "table1_cost",
+    "GpuScratchpad",
+    "HazardMonitor",
+    "HitMap",
+    "HoldMask",
+    "ScratchPipePipeline",
+    "StrawmanCache",
+    "required_slots",
+    "LookaheadLoader",
+    "MiniBatch",
+    "SyntheticDataset",
+    "make_dataset",
+    "DEFAULT_HARDWARE",
+    "CostModel",
+    "HardwareSpec",
+    "DLRMModel",
+    "DenseNetwork",
+    "ModelConfig",
+    "tiny_config",
+    "HybridSystem",
+    "MultiGpuSystem",
+    "ScratchPipeSystem",
+    "ScratchPipeTrainingRun",
+    "StaticCacheSystem",
+    "StrawmanSystem",
+    "__version__",
+]

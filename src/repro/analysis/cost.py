@@ -1,0 +1,75 @@
+"""AWS training-cost model (Table I, Section VI-F).
+
+The paper prices one million training iterations on AWS EC2 P3 instances:
+ScratchPipe on a single-GPU p3.2xlarge versus the GPU-only system on an
+8-GPU p3.16xlarge.  Because ScratchPipe leaves the SGD algorithm untouched,
+equal iteration counts reach equal accuracy, so cost is simply
+``price_per_hour * iteration_time * iterations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.spec import AwsInstance, P3_2XLARGE, P3_16XLARGE
+
+#: Iteration count Table I prices (1 million).
+TABLE1_ITERATIONS = 1_000_000
+
+
+def training_cost(
+    instance: AwsInstance,
+    iteration_time_s: float,
+    iterations: int = TABLE1_ITERATIONS,
+) -> float:
+    """Dollars to run ``iterations`` at ``iteration_time_s`` per iteration."""
+    if iteration_time_s <= 0:
+        raise ValueError(
+            f"iteration_time_s must be positive, got {iteration_time_s}"
+        )
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    hours = iteration_time_s * iterations / 3600.0
+    return instance.price_per_hour * hours
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One row of Table I."""
+
+    dataset: str
+    system: str
+    instance: AwsInstance
+    iteration_time_s: float
+
+    @property
+    def cost(self) -> float:
+        """Dollars for one million iterations."""
+        return training_cost(self.instance, self.iteration_time_s)
+
+    def formatted(self) -> List[str]:
+        """Row cells in Table I's column order."""
+        return [
+            self.dataset,
+            self.system,
+            self.instance.name,
+            f"$ {self.instance.price_per_hour:.2f}",
+            f"{self.iteration_time_s * 1e3:.2f} ms",
+            f"$ {self.cost:.2f}",
+        ]
+
+
+def cost_saving(scratchpipe: CostRow, multi_gpu: CostRow) -> float:
+    """Cost-reduction factor of ScratchPipe over the multi-GPU system."""
+    return multi_gpu.cost / scratchpipe.cost
+
+
+def scratchpipe_row(dataset: str, iteration_time_s: float) -> CostRow:
+    """Table I row for single-GPU ScratchPipe on a p3.2xlarge."""
+    return CostRow(dataset, "ScratchPipe", P3_2XLARGE, iteration_time_s)
+
+
+def multi_gpu_row(dataset: str, iteration_time_s: float) -> CostRow:
+    """Table I row for the 8-GPU system on a p3.16xlarge."""
+    return CostRow(dataset, "8 GPU", P3_16XLARGE, iteration_time_s)

@@ -1,0 +1,454 @@
+"""One entry point per paper experiment (every evaluation table and figure).
+
+Each function regenerates the rows/series of one figure or table of the
+paper's Section VI using the timing substrate and the system designs.  The
+benchmark suite in ``benchmarks/`` is a thin printing/asserting wrapper
+around these functions — keeping the experiment logic importable and
+unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cost import CostRow, multi_gpu_row, scratchpipe_row
+from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
+from repro.core.scratchpad import worst_case_storage_bytes
+from repro.data.datasets import DATASET_PROFILES, LOCALITY_CLASSES
+from repro.data.trace import MaterialisedDataset, make_dataset
+from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
+from repro.model.config import ModelConfig
+from repro.systems.base import SystemRunResult
+from repro.systems.hybrid import HybridSystem
+from repro.systems.multigpu import MultiGpuSystem
+from repro.systems.scratchpipe_system import ScratchPipeSystem
+from repro.systems.static_cache import StaticCacheSystem
+from repro.systems.strawman_system import StrawmanSystem
+
+#: Cache-fraction sweep used by Figures 12 and 13 (2% .. 10%).
+CACHE_FRACTIONS = (0.02, 0.04, 0.06, 0.08, 0.10)
+
+#: Default trace length for timing experiments — long enough for the
+#: dynamic caches to reach steady state past the 6-deep pipeline warm-up.
+DEFAULT_NUM_BATCHES = 24
+
+#: Warm-up iterations excluded from steady-state means.
+WARMUP = 8
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Shared experiment parameters.
+
+    Attributes:
+        config: Model geometry (paper defaults unless a sweep overrides).
+        hardware: Node being modelled.
+        num_batches: Trace length per (locality, system) point.
+        seed: Trace seed.
+    """
+
+    config: ModelConfig = field(default_factory=ModelConfig)
+    hardware: HardwareSpec = field(default_factory=lambda: DEFAULT_HARDWARE)
+    num_batches: int = DEFAULT_NUM_BATCHES
+    seed: int = 0
+
+    def trace(self, locality: str) -> MaterialisedDataset:
+        """Materialise the benchmark trace for one locality class."""
+        dataset = make_dataset(
+            self.config, locality, seed=self.seed, num_batches=self.num_batches
+        )
+        return MaterialisedDataset(dataset)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — sorted access counts of the four dataset profiles
+# ----------------------------------------------------------------------
+def fig3_access_counts(
+    num_rows: int = 10_000_000,
+    total_accesses: int = 100_000_000,
+    n_points: int = 1000,
+) -> Dict[str, np.ndarray]:
+    """Sorted access-count curves, one per dataset profile."""
+    return {
+        profile.name: access_count_curve(
+            profile.distribution(num_rows), total_accesses, n_points
+        )
+        for profile in DATASET_PROFILES
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — training-time breakdown: hybrid vs static 2% / 10%
+# ----------------------------------------------------------------------
+def fig5_breakdown(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fractions: Sequence[float] = (0.02, 0.10),
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-group latency (seconds) for each locality and design.
+
+    Returns ``{locality: {design: {group: seconds}}}`` with designs
+    ``"hybrid"``, ``"static_2%"`` etc.
+    """
+    setup = setup or ExperimentSetup()
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        designs: Dict[str, Dict[str, float]] = {}
+        hybrid = HybridSystem(setup.config, setup.hardware)
+        designs["hybrid"] = hybrid.run_trace(trace).group_means(warmup=0)
+        for fraction in cache_fractions:
+            system = StaticCacheSystem(setup.config, setup.hardware, fraction)
+            label = f"static_{int(fraction * 100)}%"
+            designs[label] = system.run_trace(trace).group_means(warmup=0)
+        out[locality] = designs
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — static-cache hit rate vs cache size
+# ----------------------------------------------------------------------
+def fig6_hit_rate(
+    cache_fractions: Optional[Sequence[float]] = None,
+    num_rows: int = 10_000_000,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Hit-rate curves of the four dataset profiles (Figure 6)."""
+    if cache_fractions is None:
+        cache_fractions = np.linspace(0.01, 1.0, 100)
+    fractions = np.asarray(cache_fractions, dtype=np.float64)
+    return fractions, dataset_hit_rate_curves(fractions, num_rows)
+
+
+# ----------------------------------------------------------------------
+# Figures 12(a)/(b) — latency breakdowns
+# ----------------------------------------------------------------------
+def fig12a_baseline_latency(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fractions: Sequence[float] = CACHE_FRACTIONS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Baseline (0%) and static-cache (2-10%) group breakdowns."""
+    setup = setup or ExperimentSetup()
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        designs: Dict[str, Dict[str, float]] = {}
+        designs["0%"] = HybridSystem(setup.config, setup.hardware).run_trace(
+            trace
+        ).group_means(warmup=0)
+        for fraction in cache_fractions:
+            system = StaticCacheSystem(setup.config, setup.hardware, fraction)
+            designs[f"{int(fraction * 100)}%"] = system.run_trace(
+                trace
+            ).group_means(warmup=0)
+        out[locality] = designs
+    return out
+
+
+def fig12b_scratchpipe_latency(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fractions: Sequence[float] = CACHE_FRACTIONS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """ScratchPipe per-stage latency for each locality and cache size."""
+    setup = setup or ExperimentSetup()
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        sizes: Dict[str, Dict[str, float]] = {}
+        for fraction in cache_fractions:
+            system = ScratchPipeSystem(setup.config, setup.hardware, fraction)
+            sizes[f"{int(fraction * 100)}%"] = system.run_trace(
+                trace
+            ).stage_means(warmup=WARMUP)
+        out[locality] = sizes
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — end-to-end speedup (normalised to the static cache)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """All four designs' latencies at one (locality, cache size) point."""
+
+    locality: str
+    cache_fraction: float
+    hybrid_s: float
+    static_s: float
+    strawman_s: float
+    scratchpipe_s: float
+
+    def speedups(self) -> Dict[str, float]:
+        """Speedups normalised to the static cache (Figure 13's y-axis)."""
+        return {
+            "hybrid": self.static_s / self.hybrid_s,
+            "static_cache": 1.0,
+            "strawman": self.static_s / self.strawman_s,
+            "scratchpipe": self.static_s / self.scratchpipe_s,
+        }
+
+
+def fig13_speedup(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fractions: Sequence[float] = CACHE_FRACTIONS,
+    localities: Sequence[str] = LOCALITY_CLASSES,
+) -> List[SpeedupPoint]:
+    """End-to-end latency of the four designs across the full sweep."""
+    setup = setup or ExperimentSetup()
+    points: List[SpeedupPoint] = []
+    for locality in localities:
+        trace = setup.trace(locality)
+        hybrid_s = HybridSystem(setup.config, setup.hardware).run_trace(
+            trace
+        ).mean_latency(warmup=0)
+        for fraction in cache_fractions:
+            static_s = StaticCacheSystem(
+                setup.config, setup.hardware, fraction
+            ).run_trace(trace).mean_latency(warmup=0)
+            strawman_s = StrawmanSystem(
+                setup.config, setup.hardware, fraction
+            ).run_trace(trace).mean_latency(warmup=WARMUP)
+            scratchpipe_s = ScratchPipeSystem(
+                setup.config, setup.hardware, fraction
+            ).run_trace(trace).mean_latency(warmup=WARMUP)
+            points.append(
+                SpeedupPoint(
+                    locality=locality,
+                    cache_fraction=fraction,
+                    hybrid_s=hybrid_s,
+                    static_s=static_s,
+                    strawman_s=strawman_s,
+                    scratchpipe_s=scratchpipe_s,
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — energy
+# ----------------------------------------------------------------------
+def fig14_energy(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fraction: float = 0.02,
+) -> Dict[str, Dict[str, float]]:
+    """Per-iteration energy (J) of static cache vs ScratchPipe."""
+    setup = setup or ExperimentSetup()
+    out: Dict[str, Dict[str, float]] = {}
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        static = StaticCacheSystem(
+            setup.config, setup.hardware, cache_fraction
+        ).run_trace(trace)
+        scratchpipe = ScratchPipeSystem(
+            setup.config, setup.hardware, cache_fraction
+        ).run_trace(trace)
+        out[locality] = {
+            "static_cache": static.mean_energy(warmup=0),
+            "scratchpipe": scratchpipe.mean_energy(warmup=WARMUP),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — sensitivity sweeps
+# ----------------------------------------------------------------------
+def fig15a_dim_sensitivity(
+    dims: Sequence[int] = (64, 128, 256),
+    cache_fraction: float = 0.02,
+    base: Optional[ExperimentSetup] = None,
+) -> List[SpeedupPoint]:
+    """Speedups when sweeping the embedding dimension (Figure 15(a))."""
+    base = base or ExperimentSetup()
+    points: List[SpeedupPoint] = []
+    for dim in dims:
+        bottom = tuple(base.config.bottom_mlp[:-1]) + (dim,)
+        config = base.config.scaled(embedding_dim=dim, bottom_mlp=bottom)
+        setup = ExperimentSetup(
+            config=config,
+            hardware=base.hardware,
+            num_batches=base.num_batches,
+            seed=base.seed,
+        )
+        for point in fig13_speedup(setup, cache_fractions=(cache_fraction,)):
+            points.append(
+                SpeedupPoint(
+                    locality=f"{point.locality}/dim={dim}",
+                    cache_fraction=point.cache_fraction,
+                    hybrid_s=point.hybrid_s,
+                    static_s=point.static_s,
+                    strawman_s=point.strawman_s,
+                    scratchpipe_s=point.scratchpipe_s,
+                )
+            )
+    return points
+
+
+def fig15b_lookup_sensitivity(
+    lookups: Sequence[int] = (1, 20, 50),
+    cache_fraction: float = 0.02,
+    base: Optional[ExperimentSetup] = None,
+) -> List[SpeedupPoint]:
+    """Speedups when sweeping lookups per table (Figure 15(b))."""
+    base = base or ExperimentSetup()
+    points: List[SpeedupPoint] = []
+    for n_lookups in lookups:
+        config = base.config.scaled(lookups_per_table=n_lookups)
+        setup = ExperimentSetup(
+            config=config,
+            hardware=base.hardware,
+            num_batches=base.num_batches,
+            seed=base.seed,
+        )
+        for point in fig13_speedup(setup, cache_fractions=(cache_fraction,)):
+            points.append(
+                SpeedupPoint(
+                    locality=f"{point.locality}/lookups={n_lookups}",
+                    cache_fraction=point.cache_fraction,
+                    hybrid_s=point.hybrid_s,
+                    static_s=point.static_s,
+                    strawman_s=point.strawman_s,
+                    scratchpipe_s=point.scratchpipe_s,
+                )
+            )
+    return points
+
+
+def replacement_policy_sensitivity(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fraction: float = 0.02,
+    policies: Sequence[str] = ("lru", "lfu", "random"),
+) -> Dict[str, Dict[str, float]]:
+    """ScratchPipe latency per replacement policy (Section VI-E)."""
+    setup = setup or ExperimentSetup()
+    out: Dict[str, Dict[str, float]] = {}
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        out[locality] = {
+            policy: ScratchPipeSystem(
+                setup.config, setup.hardware, cache_fraction, policy_name=policy
+            ).run_trace(trace).mean_latency(warmup=WARMUP)
+            for policy in policies
+        }
+    return out
+
+
+def batch_size_sensitivity(
+    batch_sizes: Sequence[int] = (512, 2048, 4096),
+    cache_fraction: float = 0.02,
+    base: Optional[ExperimentSetup] = None,
+    localities: Sequence[str] = ("medium",),
+) -> List[SpeedupPoint]:
+    """Speedups when sweeping the mini-batch size (Section VI-E)."""
+    base = base or ExperimentSetup()
+    points: List[SpeedupPoint] = []
+    for batch_size in batch_sizes:
+        config = base.config.scaled(batch_size=batch_size)
+        setup = ExperimentSetup(
+            config=config,
+            hardware=base.hardware,
+            num_batches=base.num_batches,
+            seed=base.seed,
+        )
+        for point in fig13_speedup(
+            setup, cache_fractions=(cache_fraction,), localities=localities
+        ):
+            points.append(
+                SpeedupPoint(
+                    locality=f"{point.locality}/batch={batch_size}",
+                    cache_fraction=point.cache_fraction,
+                    hybrid_s=point.hybrid_s,
+                    static_s=point.static_s,
+                    strawman_s=point.strawman_s,
+                    scratchpipe_s=point.scratchpipe_s,
+                )
+            )
+    return points
+
+
+def mlp_intensity_sensitivity(
+    width_multipliers: Sequence[int] = (1, 2, 4),
+    cache_fraction: float = 0.02,
+    base: Optional[ExperimentSetup] = None,
+    localities: Sequence[str] = ("medium",),
+) -> List[SpeedupPoint]:
+    """Speedups for increasingly MLP-intensive models (Section VI-E).
+
+    The paper reports testing "more MLP-intensive (and less embedding
+    intensive) models" and omits the numbers; we widen every top-MLP layer
+    by the given multipliers.  ScratchPipe's advantage should shrink as the
+    dense network grows (the embedding bottleneck it removes matters less)
+    while remaining above 1x.
+    """
+    base = base or ExperimentSetup()
+    points: List[SpeedupPoint] = []
+    for multiplier in width_multipliers:
+        top = tuple(h * multiplier for h in base.config.top_mlp[:-1]) + (1,)
+        config = base.config.scaled(top_mlp=top)
+        setup = ExperimentSetup(
+            config=config,
+            hardware=base.hardware,
+            num_batches=base.num_batches,
+            seed=base.seed,
+        )
+        for point in fig13_speedup(
+            setup, cache_fractions=(cache_fraction,), localities=localities
+        ):
+            points.append(
+                SpeedupPoint(
+                    locality=f"{point.locality}/mlp_x{multiplier}",
+                    cache_fraction=point.cache_fraction,
+                    hybrid_s=point.hybrid_s,
+                    static_s=point.static_s,
+                    strawman_s=point.strawman_s,
+                    scratchpipe_s=point.scratchpipe_s,
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Table I — training cost vs the 8-GPU system
+# ----------------------------------------------------------------------
+def table1_cost(
+    setup: Optional[ExperimentSetup] = None,
+    cache_fraction: float = 0.02,
+    num_gpus: int = 8,
+) -> List[Tuple[CostRow, CostRow]]:
+    """(ScratchPipe row, 8-GPU row) per locality class."""
+    setup = setup or ExperimentSetup()
+    rows: List[Tuple[CostRow, CostRow]] = []
+    for locality in LOCALITY_CLASSES:
+        trace = setup.trace(locality)
+        sp_latency = ScratchPipeSystem(
+            setup.config, setup.hardware, cache_fraction
+        ).run_trace(trace).mean_latency(warmup=WARMUP)
+        mg_latency = MultiGpuSystem(
+            setup.config, setup.hardware, num_gpus=num_gpus
+        ).run_trace(trace).mean_latency(warmup=0)
+        rows.append(
+            (
+                scratchpipe_row(locality.capitalize(), sp_latency),
+                multi_gpu_row(locality.capitalize(), mg_latency),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section VI-D — implementation overhead
+# ----------------------------------------------------------------------
+def overhead_vi_d(config: Optional[ModelConfig] = None) -> Dict[str, float]:
+    """The Storage-array sizing numbers of Section VI-D (bytes)."""
+    config = config or ModelConfig()
+    worst_case = worst_case_storage_bytes(config, window_batches=6)
+    # Hit-Map: (8 B key + 4 B value + ~20 B container overhead) per cached
+    # row; Section VI-D quotes "<1 GB" for a 10% cache of 80M rows.
+    hitmap_bytes = int(0.10 * config.num_tables * config.rows_per_table) * 32
+    misc_bytes = 300 * 10 ** 6  # "other miscellaneous data structures"
+    return {
+        "storage_worst_case_bytes": float(worst_case),
+        "hitmap_bytes": float(hitmap_bytes),
+        "misc_bytes": float(misc_bytes),
+        "total_bytes": float(worst_case + hitmap_bytes + misc_bytes),
+    }

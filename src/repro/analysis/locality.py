@@ -1,0 +1,92 @@
+"""Locality characterisation: access-count curves and hit-rate curves.
+
+Reproduces the analysis behind Figure 3 (sorted access counts of the four
+dataset profiles) and Figure 6 (static-cache hit rate as a function of cache
+size), both analytically from the fitted distributions and empirically from
+generated traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.datasets import DATASET_PROFILES, DatasetProfile
+from repro.data.distributions import AccessDistribution
+from repro.data.trace import SyntheticDataset
+
+
+def access_count_curve(
+    distribution: AccessDistribution,
+    total_accesses: int,
+    n_points: int = 1000,
+) -> np.ndarray:
+    """Expected sorted access counts of the hottest ``n_points`` rows.
+
+    This is the quantity Figure 3 plots (descending access count by rank).
+    """
+    if total_accesses < 1:
+        raise ValueError(f"total_accesses must be >= 1, got {total_accesses}")
+    return distribution.sorted_pdf(n_points) * total_accesses
+
+
+def static_hit_rate_curve(
+    distribution: AccessDistribution, cache_fractions: Sequence[float]
+) -> np.ndarray:
+    """Analytic static-cache hit rate at each cache size (Figure 6)."""
+    return np.array([distribution.hit_rate(f) for f in cache_fractions])
+
+
+def dataset_hit_rate_curves(
+    cache_fractions: Sequence[float],
+    num_rows: int = 10_000_000,
+    profiles: Sequence[DatasetProfile] = DATASET_PROFILES,
+) -> Dict[str, np.ndarray]:
+    """Hit-rate curves for the paper's four dataset profiles."""
+    return {
+        profile.name: static_hit_rate_curve(
+            profile.distribution(num_rows), cache_fractions
+        )
+        for profile in profiles
+    }
+
+
+def empirical_hit_rate(
+    dataset: SyntheticDataset,
+    cache_fraction: float,
+    table: int = 0,
+    num_batches: int = 8,
+) -> float:
+    """Measured static-cache hit rate of a generated trace.
+
+    Counts lookups landing in the top-N hot rows (row ID < N under the
+    rank-ordered synthetic distributions) over ``num_batches`` batches.
+    Validates the analytic curves against actual sampled traces.
+    """
+    if not 0.0 <= cache_fraction <= 1.0:
+        raise ValueError(
+            f"cache_fraction must be in [0, 1], got {cache_fraction}"
+        )
+    hot_rows = int(cache_fraction * dataset.config.rows_per_table)
+    hits = 0
+    total = 0
+    for index in range(min(num_batches, len(dataset))):
+        ids = dataset.batch(index).table_ids(table)
+        hits += int((ids < hot_rows).sum())
+        total += ids.size
+    if total == 0:
+        return 1.0
+    return hits / total
+
+
+def empirical_access_counts(
+    dataset: SyntheticDataset, table: int = 0, num_batches: int = 8
+) -> np.ndarray:
+    """Sorted (descending) empirical access counts of one table's rows."""
+    counts = np.zeros(dataset.config.rows_per_table, dtype=np.int64)
+    for index in range(min(num_batches, len(dataset))):
+        ids = dataset.batch(index).table_ids(table)
+        np.add.at(counts, ids, 1)
+    counts.sort()
+    return counts[::-1]

@@ -1,0 +1,56 @@
+"""Plain-text table/series formatting shared by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+these helpers keep that output consistent and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"xs ({len(xs)}) and ys ({len(ys)}) length mismatch")
+    pairs = ", ".join(
+        f"{x}={y_format.format(y)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"
+
+
+def format_breakdown(name: str, groups: Mapping[str, float],
+                     scale: float = 1e3, unit: str = "ms") -> str:
+    """Render a stage/group breakdown as ``name: stage=12.3ms ...``."""
+    parts = " ".join(
+        f"{stage}={seconds * scale:.2f}{unit}" for stage, seconds in groups.items()
+    )
+    total = sum(groups.values()) * scale
+    return f"{name}: {parts} total={total:.2f}{unit}"
+
+
+def banner(title: str) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * max(8, len(title))
+    return f"\n{bar}\n{title}\n{bar}"

@@ -1,0 +1,136 @@
+"""Cross-validation of the analytic model against the functional simulator.
+
+The reproduction has two layers that can disagree: the *analytic* closed
+forms (Zipf hit-rate curves, capacity bounds) and the *simulated* cache
+behaviour (the actual Hit-Map/Hold-mask machinery run over sampled traces).
+This module measures their agreement, so regressions in either layer
+surface as a widening gap rather than silently skewing reproduced figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.datasets import locality_distribution
+from repro.data.trace import SyntheticDataset, make_dataset
+from repro.model.config import ModelConfig
+from repro.systems.scratchpipe_system import ScratchPipeSystem
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Agreement between an analytic prediction and a simulated measurement.
+
+    Attributes:
+        quantity: What was compared.
+        predicted: Analytic value.
+        measured: Simulated value.
+    """
+
+    quantity: str
+    predicted: float
+    measured: float
+
+    @property
+    def absolute_error(self) -> float:
+        """``|measured - predicted|``."""
+        return abs(self.measured - self.predicted)
+
+    def within(self, tolerance: float) -> bool:
+        """True when the absolute error is inside ``tolerance``."""
+        return self.absolute_error <= tolerance
+
+
+def validate_static_hit_rate(
+    config: ModelConfig,
+    locality: str,
+    cache_fraction: float,
+    seed: int = 0,
+    num_batches: int = 6,
+) -> ValidationReport:
+    """Analytic top-N hit rate vs the rate measured on a sampled trace."""
+    distribution = locality_distribution(locality, config.rows_per_table)
+    dataset = make_dataset(config, locality, seed=seed, num_batches=num_batches)
+    hot_rows = int(cache_fraction * config.rows_per_table)
+    hits = 0
+    total = 0
+    for index in range(num_batches):
+        ids = dataset.batch(index).sparse_ids.reshape(-1)
+        hits += int((ids < hot_rows).sum())
+        total += ids.size
+    return ValidationReport(
+        quantity=f"static hit rate ({locality}, {cache_fraction:.0%})",
+        predicted=distribution.hit_rate(cache_fraction),
+        measured=hits / total,
+    )
+
+
+def validate_random_dynamic_hit_rate(
+    config: ModelConfig,
+    cache_fraction: float,
+    hardware,
+    seed: int = 0,
+    measure_batches: int = 6,
+) -> ValidationReport:
+    """On a uniform trace, no policy beats capacity: the dynamic cache's
+    steady-state unique-ID hit rate must approach ``cache_fraction``.
+
+    Steady state requires the cache to be *full*, which takes roughly
+    ``slots / unique-IDs-per-batch`` iterations of cold misses; the warm-up
+    is sized accordingly before measuring.
+    """
+    slots = int(cache_fraction * config.rows_per_table)
+    per_batch = config.batch_size * config.lookups_per_table
+    warmup = -(-slots // per_batch) + 4  # ceil fill time + pipeline depth
+    num_batches = warmup + measure_batches
+    dataset = make_dataset(config, "random", seed=seed, num_batches=num_batches)
+    system = ScratchPipeSystem(config, hardware, cache_fraction)
+    stats = system.simulate_cache(dataset)
+    measured = float(np.mean([s.hit_rate for s in stats[warmup:]]))
+    return ValidationReport(
+        quantity=f"dynamic hit rate (random, {cache_fraction:.0%})",
+        predicted=cache_fraction,
+        measured=measured,
+    )
+
+
+def validate_capacity_bound(
+    config: ModelConfig,
+    locality: str,
+    seed: int = 0,
+    num_batches: int = 10,
+) -> ValidationReport:
+    """The Section VI-D worst-case bound must dominate the simulated
+    worst-case *live* working set of the sliding window."""
+    from repro.core.scratchpad import required_slots
+
+    dataset = make_dataset(config, locality, seed=seed, num_batches=num_batches)
+    bound = required_slots(config, window_batches=6)
+    worst_live = 0
+    window: List[np.ndarray] = []
+    for index in range(num_batches):
+        window.append(dataset.batch(index).sparse_ids.reshape(-1))
+        window = window[-6:]
+        live = np.unique(np.concatenate(window)).size / config.num_tables
+        worst_live = max(worst_live, int(np.ceil(live)))
+    return ValidationReport(
+        quantity=f"window working set ({locality})",
+        predicted=float(bound),
+        measured=float(worst_live),
+    )
+
+
+def run_validation_suite(
+    config: ModelConfig, hardware, seed: int = 0
+) -> Dict[str, ValidationReport]:
+    """Run every analytic-vs-simulated check; keyed by quantity."""
+    reports = [
+        validate_static_hit_rate(config, "high", 0.02, seed=seed),
+        validate_static_hit_rate(config, "low", 0.02, seed=seed),
+        validate_random_dynamic_hit_rate(config, 0.10, hardware, seed=seed),
+        validate_capacity_bound(config, "random", seed=seed),
+    ]
+    return {r.quantity: r for r in reports}

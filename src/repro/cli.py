@@ -1,0 +1,264 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli fig13 --batches 12 --fractions 0.02 0.10
+    python -m repro.cli table1
+    python -m repro.cli fig6
+    python -m repro.cli overhead
+    python -m repro.cli compare --locality medium --cache 0.02
+
+Every subcommand prints the same rows/series the corresponding paper table
+or figure reports, using the calibrated analytic timing model.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.cost import cost_saving
+from repro.analysis.experiments import (
+    ExperimentSetup,
+    fig6_hit_rate,
+    fig12b_scratchpipe_latency,
+    fig13_speedup,
+    fig14_energy,
+    overhead_vi_d,
+    table1_cost,
+)
+from repro.analysis.report import banner, format_breakdown, format_table
+from repro.data.datasets import LOCALITY_CLASSES
+from repro.systems.hybrid import HybridSystem
+from repro.systems.scratchpipe_system import ScratchPipeSystem
+from repro.systems.static_cache import StaticCacheSystem
+from repro.systems.strawman_system import StrawmanSystem
+
+
+def _setup(args: argparse.Namespace) -> ExperimentSetup:
+    return ExperimentSetup(num_batches=args.batches)
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    """Figure 6: static hit rate vs cache size."""
+    fractions, curves = fig6_hit_rate(
+        cache_fractions=np.linspace(0.02, 1.0, args.points)
+    )
+    print(banner("Figure 6: static-cache hit rate vs cache size"))
+    header = ["dataset"] + [f"{f:.0%}" for f in fractions[:: max(1, args.points // 8)]]
+    rows = []
+    for name, curve in curves.items():
+        picks = curve[:: max(1, args.points // 8)]
+        rows.append([name] + [f"{v:.2f}" for v in picks])
+    print(format_table(header, rows))
+
+
+def cmd_fig12b(args: argparse.Namespace) -> None:
+    """Figure 12(b): ScratchPipe per-stage latency."""
+    out = fig12b_scratchpipe_latency(
+        _setup(args), cache_fractions=tuple(args.fractions)
+    )
+    print(banner("Figure 12(b): ScratchPipe per-stage latency"))
+    for locality, sizes in out.items():
+        for size, stages in sizes.items():
+            print(format_breakdown(f"{locality:7s} cache={size:4s}", stages))
+
+
+def cmd_fig13(args: argparse.Namespace) -> None:
+    """Figure 13: end-to-end speedups."""
+    points = fig13_speedup(_setup(args), cache_fractions=tuple(args.fractions))
+    print(banner("Figure 13: speedup normalised to static cache"))
+    rows = []
+    for p in points:
+        s = p.speedups()
+        rows.append([
+            p.locality, f"{p.cache_fraction:.0%}", f"{s['hybrid']:.2f}",
+            "1.00", f"{s['strawman']:.2f}", f"{s['scratchpipe']:.2f}",
+        ])
+    print(format_table(
+        ["locality", "cache", "hybrid", "static", "strawman", "scratchpipe"],
+        rows,
+    ))
+
+
+def cmd_fig14(args: argparse.Namespace) -> None:
+    """Figure 14: energy of static cache vs ScratchPipe."""
+    out = fig14_energy(_setup(args), cache_fraction=args.cache)
+    print(banner("Figure 14: energy per iteration (J)"))
+    rows = [
+        [loc, f"{e['static_cache']:.1f}", f"{e['scratchpipe']:.1f}"]
+        for loc, e in out.items()
+    ]
+    print(format_table(["locality", "static cache", "scratchpipe"], rows))
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    """Table I: AWS training cost comparison."""
+    rows = table1_cost(_setup(args), cache_fraction=args.cache)
+    print(banner("Table I: training cost over 1M iterations"))
+    cells = []
+    for sp, mg in rows:
+        cells.append(sp.formatted())
+        cells.append(mg.formatted())
+    print(format_table(
+        ["Dataset", "System", "AWS Instance", "Price/hr", "Iter. Time",
+         "1M Iter. Cost"],
+        cells,
+    ))
+    savings = [cost_saving(sp, mg) for sp, mg in rows]
+    print(f"\naverage saving {np.mean(savings):.1f}x, max {max(savings):.1f}x")
+
+
+def cmd_overhead(args: argparse.Namespace) -> None:
+    """Section VI-D: scratchpad memory overhead."""
+    out = overhead_vi_d()
+    print(banner("Section VI-D: GPU scratchpad overhead"))
+    print(format_table(
+        ["component", "MB"],
+        [[k, f"{v / 1e6:.0f}"] for k, v in out.items()],
+    ))
+
+
+def cmd_compare(args: argparse.Namespace) -> None:
+    """Head-to-head latency of the four designs on one trace."""
+    if args.locality not in LOCALITY_CLASSES:
+        raise SystemExit(
+            f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
+        )
+    setup = _setup(args)
+    trace = setup.trace(args.locality)
+    config, hardware = setup.config, setup.hardware
+    results = {
+        "hybrid": HybridSystem(config, hardware).run_trace(trace).mean_latency(0),
+        "static_cache": StaticCacheSystem(config, hardware, args.cache)
+        .run_trace(trace).mean_latency(0),
+        "strawman": StrawmanSystem(config, hardware, args.cache)
+        .run_trace(trace).mean_latency(8),
+        "scratchpipe": ScratchPipeSystem(config, hardware, args.cache)
+        .run_trace(trace).mean_latency(8),
+    }
+    print(banner(f"System comparison — {args.locality}, {args.cache:.0%} cache"))
+    print(format_table(
+        ["system", "ms/iter", "vs static"],
+        [
+            [name, f"{t * 1e3:.2f}", f"{results['static_cache'] / t:.2f}x"]
+            for name, t in results.items()
+        ],
+    ))
+
+
+def cmd_validate(args: argparse.Namespace) -> None:
+    """Cross-validate the analytic model against the functional simulator."""
+    from repro.analysis.validation import run_validation_suite
+    from repro.model.config import ModelConfig
+
+    config = ModelConfig(
+        num_tables=2,
+        rows_per_table=400_000,
+        embedding_dim=32,
+        lookups_per_table=4,
+        batch_size=256,
+        bottom_mlp=(64, 32),
+        top_mlp=(64, 1),
+    )
+    reports = run_validation_suite(config, _setup(args).hardware)
+    print(banner("Analytic model vs functional simulator"))
+    print(format_table(
+        ["quantity", "predicted", "measured", "abs error"],
+        [
+            [name, f"{r.predicted:.4g}", f"{r.measured:.4g}",
+             f"{r.absolute_error:.4g}"]
+            for name, r in reports.items()
+        ],
+    ))
+
+
+def cmd_timeline(args: argparse.Namespace) -> None:
+    """Render the Figure 10 pipeline schedule with stage utilisation."""
+    from repro.core.timeline import PipelineTimeline, render_ascii
+    from repro.systems.stages import cache_stage_times
+
+    if args.locality not in LOCALITY_CLASSES:
+        raise SystemExit(
+            f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
+        )
+    setup = _setup(args)
+    system = ScratchPipeSystem(setup.config, setup.hardware, args.cache)
+    stats = system.simulate_cache(setup.trace(args.locality))
+    stage_seconds = [
+        {k: v.seconds for k, v in
+         cache_stage_times(system.cost, s, system.future_window).items()}
+        for s in stats
+    ]
+    timeline = PipelineTimeline(
+        stage_seconds=stage_seconds, sync_seconds=setup.hardware.stage_sync_s
+    )
+    print(banner(f"Pipeline schedule — {args.locality}, {args.cache:.0%} cache"))
+    print(render_ascii(timeline.cycles(), max_cycles=12))
+    print(f"\nsteady-state cycle: "
+          f"{timeline.steady_state_cycle_seconds() * 1e3:.2f} ms; "
+          f"bottleneck: {timeline.bottleneck_stage()}")
+    print(format_table(
+        ["stage", "utilisation"],
+        [[s, f"{u:.1%}"] for s, u in timeline.stage_utilisation().items()],
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ScratchPipe reproduction experiments"
+    )
+    parser.add_argument("--batches", type=int, default=14,
+                        help="trace length per experiment point")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig6", help="static hit-rate curves")
+    p.add_argument("--points", type=int, default=50)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("fig12b", help="ScratchPipe stage latency")
+    p.add_argument("--fractions", type=float, nargs="+", default=[0.02])
+    p.set_defaults(func=cmd_fig12b)
+
+    p = sub.add_parser("fig13", help="end-to-end speedups")
+    p.add_argument("--fractions", type=float, nargs="+", default=[0.02])
+    p.set_defaults(func=cmd_fig13)
+
+    p = sub.add_parser("fig14", help="energy comparison")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_fig14)
+
+    p = sub.add_parser("table1", help="AWS cost comparison")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("overhead", help="scratchpad memory overhead")
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("compare", help="four designs on one trace")
+    p.add_argument("--locality", default="medium")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("validate", help="model-vs-simulator cross-checks")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("timeline", help="pipeline schedule + utilisation")
+    p.add_argument("--locality", default="random")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

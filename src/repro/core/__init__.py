@@ -1,0 +1,69 @@
+"""Core ScratchPipe machinery: Hit-Map, Hold mask, scratchpad, pipeline."""
+
+from repro.core.hitmap import EMPTY, HitMap
+from repro.core.holdmask import HoldMask
+from repro.core.pipeline import (
+    BatchCacheStats,
+    HazardError,
+    HazardMonitor,
+    PipelineResult,
+    PipelineTrainer,
+    ScratchPipePipeline,
+    PLAN_TO_COLLECT,
+    PLAN_TO_INSERT,
+    PLAN_TO_TRAIN,
+    STAGES,
+)
+from repro.core.replacement import (
+    CachePressureError,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.core.scratchpad import (
+    GpuScratchpad,
+    TablePlan,
+    required_slots,
+    worst_case_storage_bytes,
+)
+from repro.core.strawman import StrawmanCache, make_strawman_scratchpads
+from repro.core.timeline import (
+    CycleOccupancy,
+    PipelineTimeline,
+    render_ascii,
+    schedule,
+)
+
+__all__ = [
+    "EMPTY",
+    "HitMap",
+    "HoldMask",
+    "BatchCacheStats",
+    "HazardError",
+    "HazardMonitor",
+    "PipelineResult",
+    "PipelineTrainer",
+    "ScratchPipePipeline",
+    "PLAN_TO_COLLECT",
+    "PLAN_TO_INSERT",
+    "PLAN_TO_TRAIN",
+    "STAGES",
+    "CachePressureError",
+    "LfuPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "GpuScratchpad",
+    "TablePlan",
+    "required_slots",
+    "worst_case_storage_bytes",
+    "StrawmanCache",
+    "make_strawman_scratchpads",
+    "CycleOccupancy",
+    "PipelineTimeline",
+    "render_ascii",
+    "schedule",
+]

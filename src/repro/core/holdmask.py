@@ -1,0 +1,94 @@
+"""The Hold mask: ScratchPipe's sliding-window hazard guard (Section IV-C/D).
+
+Each scratchpad Storage slot carries a small bitmask.  When a mini-batch is
+processed at [Plan], every slot the batch will use at [Train] gets a fresh
+hold bit; the mask shifts right by one each time a new batch enters [Plan].
+A slot is an eviction candidate only while its mask is zero — i.e. none of
+the mini-batches inside the sliding window asked to hold it.
+
+Bit-lifetime convention
+-----------------------
+``past_window = W`` means a hold set at batch *j*'s Plan remains visible
+during the Plans of batches *j+1 .. j+W* (and vanishes at *j+W+1*).  The
+paper requires W = 3: when batch *i* plans, the batches at [Collect],
+[Exchange] and [Insert] (i.e. *i-1*, *i-2*, *i-3*) must keep their slots —
+batch *i-3* is still going to write those slots at [Parameter Update] in
+the very cycle batch *i* reads its victims at [Collect] (RAW-2).  We set the
+fresh bit at position ``W`` (value ``1 << W``) *after* advancing, so it
+survives exactly W subsequent advances.  (Algorithm 1 in the paper sets
+``2 ** (width-1)`` with width 3, which protects only two past batches; its
+caption notes the pseudo-code is simplified.  The deviation is deliberate
+and covered by the hazard-freedom property tests.)
+
+The *future* window (next two batches) is handled transiently by the Plan
+stage — future batches have not set persistent bits yet, so Plan computes
+their held slots on the fly from the lookahead IDs (see ``core.plan``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class HoldMask:
+    """Per-slot circular hold bitmask.
+
+    Attributes:
+        num_slots: Number of Storage slots tracked.
+        past_window: How many *subsequent* Plans a hold stays visible for.
+            The paper's pipeline uses 3 (distance from [Collect] to [Train]).
+    """
+
+    num_slots: int
+    past_window: int = 3
+    _bits: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+        if not 0 <= self.past_window <= 62:
+            raise ValueError(
+                f"past_window must be in [0, 62], got {self.past_window}"
+            )
+        self._bits = np.zeros(self.num_slots, dtype=np.uint64)
+
+    @property
+    def fresh_bit(self) -> int:
+        """Bit value a newly planned batch sets on its slots."""
+        return 1 << self.past_window
+
+    def advance(self) -> None:
+        """Slide the window by one mini-batch (right-shift every mask)."""
+        self._bits >>= np.uint64(1)
+
+    def hold(self, slots: np.ndarray) -> None:
+        """Mark ``slots`` as used by the batch currently at [Plan]."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return
+        if slots.min() < 0 or slots.max() >= self.num_slots:
+            raise ValueError("slot index out of range")
+        self._bits[slots] |= np.uint64(self.fresh_bit)
+
+    def is_held(self, slots: np.ndarray) -> np.ndarray:
+        """Boolean array: True where a slot is inside the sliding window."""
+        return self._bits[np.asarray(slots, dtype=np.int64)] != 0
+
+    def held_mask(self) -> np.ndarray:
+        """Boolean mask over all slots: True = protected from eviction."""
+        return self._bits != 0
+
+    def eligible_mask(self) -> np.ndarray:
+        """Boolean mask over all slots: True = eviction candidate."""
+        return self._bits == 0
+
+    def held_count(self) -> int:
+        """Number of currently protected slots."""
+        return int(np.count_nonzero(self._bits))
+
+    def raw_bits(self) -> np.ndarray:
+        """Copy of the underlying bit array (for tests/inspection)."""
+        return self._bits.copy()

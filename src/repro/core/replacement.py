@@ -1,0 +1,145 @@
+"""Victim-selection (replacement) policies for the GPU scratchpad.
+
+The Plan stage needs ``k`` victims per miss burst, chosen from the slots the
+Hold mask leaves eligible.  The paper's default policy is LRU, with random
+and LFU evaluated in the Section VI-E sensitivity study.  All policies here
+are vectorised: one call selects the whole burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Type
+
+import numpy as np
+
+
+class CachePressureError(RuntimeError):
+    """Raised when fewer eligible slots exist than victims are needed.
+
+    ScratchPipe requires the Storage array to be provisioned for the
+    worst-case working set of the sliding window (Section VI-D); hitting
+    this error means the cache is undersized for the workload — compute the
+    bound with :func:`repro.core.scratchpad.required_slots`.
+    """
+
+
+@dataclass
+class ReplacementPolicy:
+    """Base class holding per-slot usage metadata.
+
+    Attributes:
+        num_slots: Number of Storage slots managed.
+    """
+
+    num_slots: int
+    _last_use: np.ndarray = field(init=False, repr=False)
+    _use_count: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+        # Never-used slots sort first under LRU so vacancies fill eagerly.
+        self._last_use = np.full(self.num_slots, -1, dtype=np.int64)
+        self._use_count = np.zeros(self.num_slots, dtype=np.int64)
+
+    def record_use(self, slots: np.ndarray, cycle: int) -> None:
+        """Note that ``slots`` were referenced by the batch planned at ``cycle``."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return
+        self._last_use[slots] = cycle
+        self._use_count[slots] += 1
+
+    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
+        """Choose ``count`` victim slots among ``eligible`` (boolean mask).
+
+        Returns an int64 array of ``count`` distinct slot indices.
+
+        Raises:
+            CachePressureError: If fewer than ``count`` slots are eligible.
+        """
+        raise NotImplementedError
+
+    def _candidates(self, eligible: np.ndarray, count: int) -> np.ndarray:
+        candidates = np.flatnonzero(eligible)
+        if candidates.size < count:
+            raise CachePressureError(
+                f"need {count} victims but only {candidates.size} of "
+                f"{self.num_slots} slots are eligible; enlarge the scratchpad "
+                "(see repro.core.scratchpad.required_slots)"
+            )
+        return candidates
+
+    def _take_smallest(
+        self, candidates: np.ndarray, scores: np.ndarray, count: int
+    ) -> np.ndarray:
+        """Pick the ``count`` candidates with the smallest scores."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        candidate_scores = scores[candidates]
+        if count >= candidates.size:
+            return candidates
+        picked = np.argpartition(candidate_scores, count - 1)[:count]
+        return candidates[picked]
+
+
+@dataclass
+class LruPolicy(ReplacementPolicy):
+    """Evict the least-recently-used eligible slots (the paper's default)."""
+
+    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
+        candidates = self._candidates(eligible, count)
+        return self._take_smallest(candidates, self._last_use, count)
+
+
+@dataclass
+class LfuPolicy(ReplacementPolicy):
+    """Evict the least-frequently-used eligible slots."""
+
+    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
+        candidates = self._candidates(eligible, count)
+        return self._take_smallest(candidates, self._use_count, count)
+
+
+@dataclass
+class RandomPolicy(ReplacementPolicy):
+    """Evict uniformly random eligible slots (sensitivity study baseline)."""
+
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._rng = np.random.default_rng(self.seed)
+
+    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
+        candidates = self._candidates(eligible, count)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        # Prefer vacant (never used) slots first, like LRU does, so that the
+        # cache warms deterministically; randomness applies to true evictions.
+        vacant = candidates[self._last_use[candidates] < 0]
+        if vacant.size >= count:
+            return vacant[:count]
+        used = candidates[self._last_use[candidates] >= 0]
+        extra = self._rng.choice(used, size=count - vacant.size, replace=False)
+        return np.concatenate([vacant, extra])
+
+
+_POLICIES: Dict[str, Type[ReplacementPolicy]] = {
+    "lru": LruPolicy,
+    "lfu": LfuPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, num_slots: int) -> ReplacementPolicy:
+    """Build a replacement policy by name (``"lru"``/``"lfu"``/``"random"``)."""
+    try:
+        policy_cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    return policy_cls(num_slots=num_slots)

@@ -1,0 +1,229 @@
+"""The GPU scratchpad: Storage array + Hit-Map + Hold mask (Section IV-D).
+
+One :class:`GpuScratchpad` manages the cache of a single embedding table —
+ScratchPipe instantiates one cache-manager per table (Section VI-G).  The
+scratchpad can run in two modes:
+
+* **functional** (``with_storage=True``): a real numpy Storage array holds
+  embedding rows, enabling bit-exact training through the cache;
+* **metadata-only** (``with_storage=False``): only the index structures are
+  simulated — sufficient for hit/miss/victim statistics at the paper's full
+  10-million-row scale, where materialising 40 GB of weights is pointless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hitmap import EMPTY, HitMap
+from repro.core.holdmask import HoldMask
+from repro.core.replacement import ReplacementPolicy, make_policy
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class TablePlan:
+    """The [Plan] stage's decisions for one table of one mini-batch.
+
+    Attributes:
+        unique_ids: Sorted unique sparse IDs the batch gathers.
+        slots: Scratchpad slot of each unique ID (parallel to
+            ``unique_ids``); every ID has a slot after planning — that is the
+            always-hit guarantee.
+        hit_mask: True where the ID was already cached before this plan.
+        miss_ids: IDs that must be fetched from the CPU table ([Collect]).
+        fill_slots: Slot assigned to each missed ID (parallel to
+            ``miss_ids``); filled at [Insert].
+        evicted_ids: Sparse ID displaced from each fill slot (``EMPTY`` where
+            the slot was vacant); written back to the CPU table at [Insert].
+    """
+
+    unique_ids: np.ndarray
+    slots: np.ndarray
+    hit_mask: np.ndarray
+    miss_ids: np.ndarray
+    fill_slots: np.ndarray
+    evicted_ids: np.ndarray
+
+    @property
+    def num_unique(self) -> int:
+        """Unique IDs gathered by the batch for this table."""
+        return int(self.unique_ids.size)
+
+    @property
+    def num_hits(self) -> int:
+        """Unique IDs already cached at plan time."""
+        return int(self.hit_mask.sum())
+
+    @property
+    def num_misses(self) -> int:
+        """Unique IDs that must be prefetched from CPU memory."""
+        return int(self.miss_ids.size)
+
+    @property
+    def num_writebacks(self) -> int:
+        """Dirty victims that must be written back to the CPU table."""
+        return int(np.count_nonzero(self.evicted_ids != EMPTY))
+
+    def slots_for(self, ids: np.ndarray) -> np.ndarray:
+        """Map arbitrary (possibly repeated) batch IDs to their slots.
+
+        Every ID must appear in ``unique_ids`` — guaranteed for the batch
+        this plan was built from.
+        """
+        flat = np.asarray(ids, dtype=np.int64).reshape(-1)
+        positions = np.searchsorted(self.unique_ids, flat)
+        if positions.max(initial=-1) >= self.unique_ids.size or not np.array_equal(
+            self.unique_ids[positions], flat
+        ):
+            raise KeyError("plan does not cover all requested IDs")
+        return self.slots[positions].reshape(np.asarray(ids).shape)
+
+
+@dataclass
+class GpuScratchpad:
+    """Always-hit software cache for one embedding table.
+
+    Attributes:
+        num_slots: Storage capacity in rows.
+        num_rows: Row count of the table being cached (the sparse-ID
+            universe of the Hit-Map).
+        dim: Embedding dimension (used only when storage is materialised).
+        past_window: Hold-mask past window (3 in the paper's pipeline).
+        policy_name: Replacement policy (``"lru"``/``"lfu"``/``"random"``).
+        with_storage: Materialise a numpy Storage array.
+    """
+
+    num_slots: int
+    num_rows: int
+    dim: int = 0
+    past_window: int = 3
+    policy_name: str = "lru"
+    with_storage: bool = False
+    hit_map: HitMap = field(init=False)
+    hold_mask: HoldMask = field(init=False)
+    policy: ReplacementPolicy = field(init=False)
+    storage: Optional[np.ndarray] = field(init=False, default=None)
+    _plan_cycle: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.with_storage and self.dim < 1:
+            raise ValueError("dim must be >= 1 when storage is materialised")
+        self.hit_map = HitMap(self.num_slots, self.num_rows)
+        self.hold_mask = HoldMask(self.num_slots, past_window=self.past_window)
+        self.policy = make_policy(self.policy_name, self.num_slots)
+        if self.with_storage:
+            self.storage = np.zeros((self.num_slots, self.dim), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # [Plan] stage logic (Algorithm 1, vectorised, with future window)
+    # ------------------------------------------------------------------
+    def plan_batch(
+        self, batch_ids: np.ndarray, future_ids: Optional[np.ndarray] = None
+    ) -> TablePlan:
+        """Run the Plan stage for one table of one mini-batch.
+
+        Args:
+            batch_ids: The batch's lookup IDs for this table (any shape;
+                duplicates allowed).
+            future_ids: Union of the lookup IDs of the next
+                ``future_window`` batches (the lookahead that removes
+                RAW-4); ``None`` or empty disables future protection.
+
+        Returns:
+            A :class:`TablePlan` that later stages consume.
+
+        The call advances the hold mask (one batch enters [Plan] per
+        pipeline cycle), queries the Hit-Map, protects hit slots and
+        future-window slots, selects hazard-free victims for the misses and
+        eagerly updates the Hit-Map — Storage remains untouched until
+        [Insert], per the delayed-update discipline.
+        """
+        self.hold_mask.advance()
+        self._plan_cycle += 1
+
+        unique_ids = np.unique(np.asarray(batch_ids, dtype=np.int64).reshape(-1))
+        slots, hit_mask = self.hit_map.query(unique_ids)
+
+        # Protect this batch's hits for the whole sliding window.
+        hit_slots = slots[hit_mask]
+        self.hold_mask.hold(hit_slots)
+
+        # Transient protection of slots the next future_window batches need
+        # (removes RAW-4: never evict what an upcoming batch expects cached).
+        transient = np.zeros(self.num_slots, dtype=bool)
+        if future_ids is not None and len(future_ids) > 0:
+            future_slots, future_hits = self.hit_map.query(
+                np.unique(np.asarray(future_ids, dtype=np.int64).reshape(-1))
+            )
+            transient[future_slots[future_hits]] = True
+
+        miss_ids = unique_ids[~hit_mask]
+        fill_slots = np.empty(0, dtype=np.int64)
+        evicted_ids = np.empty(0, dtype=np.int64)
+        if miss_ids.size:
+            eligible = self.hold_mask.eligible_mask() & ~transient
+            fill_slots = self.policy.select(eligible, miss_ids.size)
+            evicted_ids = self.hit_map.assign_many(miss_ids, fill_slots)
+            self.hold_mask.hold(fill_slots)
+            slots[~hit_mask] = fill_slots
+
+        used_slots = slots
+        self.policy.record_use(used_slots, self._plan_cycle)
+
+        return TablePlan(
+            unique_ids=unique_ids,
+            slots=slots,
+            hit_mask=hit_mask,
+            miss_ids=miss_ids,
+            fill_slots=fill_slots,
+            evicted_ids=evicted_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # Storage access (functional mode only)
+    # ------------------------------------------------------------------
+    def _require_storage(self) -> np.ndarray:
+        if self.storage is None:
+            raise RuntimeError(
+                "scratchpad was built metadata-only (with_storage=False)"
+            )
+        return self.storage
+
+    def read_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Read embedding rows out of Storage ([Collect] victim reads,
+        [Train] gathers)."""
+        return self._require_storage()[slots]
+
+    def write_slots(self, slots: np.ndarray, values: np.ndarray) -> None:
+        """Write embedding rows into Storage ([Insert] fills,
+        [Parameter Update] writes)."""
+        self._require_storage()[slots] = values
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding a cached embedding."""
+        return self.hit_map.occupancy()
+
+
+def required_slots(config: ModelConfig, window_batches: int = 6) -> int:
+    """Worst-case Storage rows per table for a hazard-free window.
+
+    Section VI-D: the Storage array must hold the embeddings of all
+    mini-batches inside the sliding window even if none of their IDs
+    overlap — ``lookups_per_table * batch_size * window_batches`` rows per
+    table (the paper's 960 MB figure is this bound times row bytes summed
+    over tables).
+    """
+    if window_batches < 1:
+        raise ValueError(f"window_batches must be >= 1, got {window_batches}")
+    per_batch = config.lookups_per_table * config.batch_size
+    return min(per_batch * window_batches, config.rows_per_table)
+
+
+def worst_case_storage_bytes(config: ModelConfig, window_batches: int = 6) -> int:
+    """Worst-case Storage bytes across all tables (the paper's 960 MB)."""
+    per_table = config.lookups_per_table * config.batch_size * window_batches
+    return config.num_tables * per_table * config.row_bytes

@@ -1,0 +1,70 @@
+"""Data substrate: access distributions, dataset profiles, traces, loaders."""
+
+from repro.data.datasets import (
+    ALIBABA,
+    CRITEO_TABLE_EXPONENTS,
+    CRITEO,
+    DATASET_PROFILES,
+    HIGH_LOCALITY,
+    KAGGLE_ANIME,
+    LOCALITY_CLASSES,
+    LOW_LOCALITY,
+    MEDIUM_LOCALITY,
+    MOVIELENS,
+    RANDOM_LOCALITY,
+    DatasetProfile,
+    criteo_table_distributions,
+    dataset_by_name,
+    locality_distribution,
+)
+from repro.data.distributions import (
+    AccessDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    fit_zipf_exponent,
+    permuted,
+)
+from repro.data.io import TraceFile, save_trace
+from repro.data.loader import LookaheadLoader
+from repro.data.stats import (
+    TraceStats,
+    lru_hit_rate_curve,
+    reuse_distances,
+    trace_stats,
+    working_set_curve,
+)
+from repro.data.trace import MiniBatch, SyntheticDataset, make_dataset
+
+__all__ = [
+    "ALIBABA",
+    "CRITEO",
+    "DATASET_PROFILES",
+    "HIGH_LOCALITY",
+    "KAGGLE_ANIME",
+    "LOCALITY_CLASSES",
+    "LOW_LOCALITY",
+    "MEDIUM_LOCALITY",
+    "MOVIELENS",
+    "RANDOM_LOCALITY",
+    "DatasetProfile",
+    "dataset_by_name",
+    "CRITEO_TABLE_EXPONENTS",
+    "criteo_table_distributions",
+    "locality_distribution",
+    "AccessDistribution",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "fit_zipf_exponent",
+    "permuted",
+    "TraceFile",
+    "save_trace",
+    "LookaheadLoader",
+    "TraceStats",
+    "lru_hit_rate_curve",
+    "reuse_distances",
+    "trace_stats",
+    "working_set_curve",
+    "MiniBatch",
+    "SyntheticDataset",
+    "make_dataset",
+]

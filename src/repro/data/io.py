@@ -1,0 +1,113 @@
+"""Trace persistence: save/load mini-batch traces as ``.npz`` archives.
+
+Real deployments train from dataset files on disk — which is precisely the
+property ScratchPipe exploits ("the training dataset records exactly which
+indices to utilize ... for all upcoming training iterations").  This module
+round-trips generated traces to disk so experiments are replayable and
+shareable, and so the look-forward loader can be demonstrated over a real
+file rather than a generator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.data.trace import MiniBatch
+from repro.model.config import ModelConfig
+
+#: Format marker stored inside every trace archive.
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: Union[str, Path],
+    batches: List[MiniBatch],
+    config: ModelConfig,
+) -> None:
+    """Write a list of mini-batches to ``path`` as a compressed ``.npz``.
+
+    Args:
+        path: Destination file (``.npz`` appended by numpy if missing).
+        batches: Batches in trace order; all must share the batch geometry
+            of ``config`` and agree on whether dense features are present.
+    """
+    if not batches:
+        raise ValueError("cannot save an empty trace")
+    has_dense = batches[0].dense is not None
+    for batch in batches:
+        if batch.sparse_ids.shape != batches[0].sparse_ids.shape:
+            raise ValueError("all batches must share one sparse-ID shape")
+        if (batch.dense is not None) != has_dense:
+            raise ValueError("all batches must agree on dense presence")
+
+    payload = {
+        "format_version": np.int64(FORMAT_VERSION),
+        "num_tables": np.int64(config.num_tables),
+        "rows_per_table": np.int64(config.rows_per_table),
+        "lookups_per_table": np.int64(config.lookups_per_table),
+        "batch_size": np.int64(config.batch_size),
+        "sparse_ids": np.stack([b.sparse_ids for b in batches]),
+    }
+    if has_dense:
+        payload["dense"] = np.stack([b.dense for b in batches])
+        payload["labels"] = np.stack([b.labels for b in batches])
+    np.savez_compressed(Path(path), **payload)
+
+
+class TraceFile:
+    """A saved trace, exposing the dataset protocol (``batch(i)``, ``len``).
+
+    Drop-in replacement for :class:`repro.data.trace.SyntheticDataset` in
+    every system/pipeline API.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        archive = np.load(Path(path))
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {version}; expected {FORMAT_VERSION}"
+            )
+        self._sparse = archive["sparse_ids"]
+        self._dense = archive["dense"] if "dense" in archive else None
+        self._labels = archive["labels"] if "labels" in archive else None
+        self.num_tables = int(archive["num_tables"])
+        self.rows_per_table = int(archive["rows_per_table"])
+        self.lookups_per_table = int(archive["lookups_per_table"])
+        self.batch_size = int(archive["batch_size"])
+
+    def __len__(self) -> int:
+        return self._sparse.shape[0]
+
+    def batch(self, index: int) -> MiniBatch:
+        """Materialise batch ``index`` from the archive."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"batch index {index} out of range [0, {len(self)})")
+        return MiniBatch(
+            index=index,
+            sparse_ids=self._sparse[index],
+            dense=None if self._dense is None else self._dense[index],
+            labels=None if self._labels is None else self._labels[index],
+        )
+
+    def __getitem__(self, index: int) -> MiniBatch:
+        return self.batch(index)
+
+    def validate_against(self, config: ModelConfig) -> None:
+        """Raise if the archive's geometry does not match ``config``."""
+        mismatches = []
+        if self.num_tables != config.num_tables:
+            mismatches.append("num_tables")
+        if self.rows_per_table != config.rows_per_table:
+            mismatches.append("rows_per_table")
+        if self.lookups_per_table != config.lookups_per_table:
+            mismatches.append("lookups_per_table")
+        if self.batch_size != config.batch_size:
+            mismatches.append("batch_size")
+        if mismatches:
+            raise ValueError(
+                "trace/config geometry mismatch on: " + ", ".join(mismatches)
+            )

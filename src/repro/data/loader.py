@@ -1,0 +1,107 @@
+"""Mini-batch loader with lookahead — the source of ScratchPipe's "future".
+
+The paper's key observation (Section IV-A) is that the training dataset
+records the sparse feature IDs of *all* upcoming iterations, so a runtime
+can inspect future mini-batches before they are trained on.  The
+:class:`LookaheadLoader` exposes exactly that capability: sequential
+iteration for the training loop plus ``future_batch`` / ``window_ids`` for
+the [Plan] stage's sliding window, all transparent to the model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.trace import MiniBatch, SyntheticDataset
+
+
+@dataclass
+class LookaheadLoader:
+    """Sequential loader over a dataset with bounded forward visibility.
+
+    Args:
+        dataset: The randomly-accessible training dataset.
+        lookahead: How many batches beyond the current one the runtime may
+            inspect.  ScratchPipe's default pipeline needs the Plan stage to
+            see ``future_window`` (2) batches ahead, plus the pipeline depth
+            between Load and Plan; the loader enforces the configured bound
+            so tests can verify the runtime never peeks further than it
+            declared.
+    """
+
+    dataset: SyntheticDataset
+    lookahead: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 0:
+            raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")
+        self._cursor = 0
+        self._cache: dict[int, MiniBatch] = {}
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next batch :meth:`next_batch` will return."""
+        return self._cursor
+
+    def _fetch(self, index: int) -> MiniBatch:
+        if index not in self._cache:
+            self._cache[index] = self.dataset.batch(index)
+        return self._cache[index]
+
+    def _evict_behind(self, index: int) -> None:
+        for stale in [k for k in self._cache if k < index]:
+            del self._cache[stale]
+
+    def next_batch(self) -> MiniBatch:
+        """Consume and return the next batch in trace order."""
+        if self._cursor >= len(self.dataset):
+            raise StopIteration("trace exhausted")
+        batch = self._fetch(self._cursor)
+        self._cursor += 1
+        self._evict_behind(self._cursor - 1)
+        return batch
+
+    def future_batch(self, offset: int) -> Optional[MiniBatch]:
+        """Peek at the batch ``offset`` positions past the cursor.
+
+        ``offset=0`` is the batch :meth:`next_batch` would return next.
+        Returns ``None`` past the end of the trace.
+
+        Raises:
+            ValueError: If ``offset`` exceeds the declared lookahead bound.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if offset > self.lookahead:
+            raise ValueError(
+                f"offset {offset} exceeds declared lookahead {self.lookahead}"
+            )
+        index = self._cursor + offset
+        if index >= len(self.dataset):
+            return None
+        return self._fetch(index)
+
+    def window_ids(self, table: int, offsets: List[int]) -> np.ndarray:
+        """Union of one table's lookup IDs across several future offsets.
+
+        Used by the Plan stage to build the future-window hold set.
+        Offsets pointing past the trace end contribute nothing.
+        """
+        pieces = []
+        for offset in offsets:
+            batch = self.future_batch(offset)
+            if batch is not None:
+                pieces.append(batch.table_ids(table))
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(pieces))
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        while self._cursor < len(self.dataset):
+            yield self.next_batch()

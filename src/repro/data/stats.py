@@ -1,0 +1,131 @@
+"""Trace statistics: reuse distance, working sets, duplication factors.
+
+Classic cache-analysis quantities computed over embedding traces.  They
+explain the ablation results quantitatively — e.g. why popularity pinning
+out-hits LRU on unique-ID rates for skewed traces (the reuse-distance
+distribution has a huge single-use tail) — and give users tools to size
+caches for their own workloads beyond the paper's four profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one table's trace.
+
+    Attributes:
+        total_lookups: All gathers, duplicates included.
+        unique_rows: Distinct rows touched over the whole trace.
+        single_use_fraction: Fraction of distinct rows touched exactly once
+            (the "long tail" — uncacheable by any policy).
+        mean_duplication: Mean gathers per touched row.
+        top_1pct_share: Fraction of lookups landing on the hottest 1% of
+            touched rows (empirical head weight).
+    """
+
+    total_lookups: int
+    unique_rows: int
+    single_use_fraction: float
+    mean_duplication: float
+    top_1pct_share: float
+
+
+def trace_stats(ids: np.ndarray) -> TraceStats:
+    """Compute :class:`TraceStats` for a flat array of lookup IDs."""
+    ids = np.asarray(ids).reshape(-1)
+    if ids.size == 0:
+        raise ValueError("trace must contain at least one lookup")
+    _, counts = np.unique(ids, return_counts=True)
+    counts_sorted = np.sort(counts)[::-1]
+    head = max(1, int(np.ceil(counts_sorted.size * 0.01)))
+    return TraceStats(
+        total_lookups=int(ids.size),
+        unique_rows=int(counts.size),
+        single_use_fraction=float((counts == 1).mean()),
+        mean_duplication=float(ids.size / counts.size),
+        top_1pct_share=float(counts_sorted[:head].sum() / ids.size),
+    )
+
+
+def reuse_distances(ids: np.ndarray) -> np.ndarray:
+    """LRU stack distances of a reference stream.
+
+    For each access, the number of *distinct* other rows referenced since
+    the previous access to the same row; first accesses yield -1 (cold).
+    An access hits an LRU cache of capacity C iff its distance < C, so the
+    distance histogram *is* the LRU hit-rate curve.
+
+    O(n log n) via a Fenwick tree over last-access positions.
+    """
+    ids = np.asarray(ids).reshape(-1)
+    n = ids.size
+    distances = np.empty(n, dtype=np.int64)
+    last_position: Dict[int, int] = {}
+    tree = np.zeros(n + 1, dtype=np.int64)  # Fenwick: marks of live positions
+
+    def tree_add(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def tree_sum(i: int) -> int:
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    live = 0  # rows currently marked (== distinct rows seen)
+    for position in range(n):
+        row = int(ids[position])
+        previous = last_position.get(row)
+        if previous is None:
+            distances[position] = -1
+        else:
+            # Distinct rows since `previous` = marks in (previous, position).
+            distances[position] = live - tree_sum(previous)
+            tree_add(previous, -1)
+            live -= 1
+        tree_add(position, 1)
+        live += 1
+        last_position[row] = position
+    return distances
+
+
+def lru_hit_rate_curve(
+    ids: np.ndarray, capacities: Sequence[int]
+) -> np.ndarray:
+    """Exact LRU hit rate at each capacity, from the reuse distances."""
+    distances = reuse_distances(ids)
+    reused = distances[distances >= 0]
+    out = np.empty(len(capacities), dtype=np.float64)
+    for i, capacity in enumerate(capacities):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        out[i] = float((reused < capacity).sum()) / distances.size
+    return out
+
+
+def working_set_curve(
+    batch_ids: Sequence[np.ndarray], window_batches: int
+) -> np.ndarray:
+    """Distinct rows inside every sliding window of ``window_batches``.
+
+    This is the quantity the Section VI-D Storage bound must dominate;
+    ``validate_capacity_bound`` checks exactly that.
+    """
+    if window_batches < 1:
+        raise ValueError(f"window_batches must be >= 1, got {window_batches}")
+    sizes: List[int] = []
+    for start in range(0, max(1, len(batch_ids) - window_batches + 1)):
+        window = batch_ids[start:start + window_batches]
+        sizes.append(int(np.unique(np.concatenate(list(window))).size))
+    return np.asarray(sizes, dtype=np.int64)

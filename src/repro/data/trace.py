@@ -1,0 +1,190 @@
+"""Synthetic training-trace generation.
+
+A *trace* is the sequence of sparse-feature ID mini-batches a RecSys training
+job consumes.  The paper's central observation is that this sequence is
+recorded in the training dataset ahead of time, which is what lets
+ScratchPipe "look forward".  We therefore generate traces that are *randomly
+accessible by batch index*: any batch can be materialised deterministically
+from ``(seed, batch_index)``, which is exactly the property a dataset file
+on disk has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import locality_distribution
+from repro.data.distributions import AccessDistribution
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class MiniBatch:
+    """One training mini-batch.
+
+    Attributes:
+        index: Position of the batch within the trace.
+        sparse_ids: int64 array of shape
+            ``(num_tables, batch_size, lookups_per_table)`` — the embedding
+            rows each sample gathers from each table (Figure 2(a)).
+        dense: float32 array ``(batch_size, num_dense_features)`` of
+            continuous inputs, or ``None`` for ID-only (timing) traces.
+        labels: float32 array ``(batch_size,)`` of click labels, or ``None``.
+    """
+
+    index: int
+    sparse_ids: np.ndarray
+    dense: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables addressed by this batch."""
+        return self.sparse_ids.shape[0]
+
+    def table_ids(self, table: int) -> np.ndarray:
+        """Flattened lookup IDs for one table (``batch * lookups`` IDs)."""
+        return self.sparse_ids[table].reshape(-1)
+
+    def unique_table_ids(self, table: int) -> np.ndarray:
+        """Sorted unique lookup IDs for one table."""
+        return np.unique(self.table_ids(table))
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """Deterministic, randomly-accessible synthetic training dataset.
+
+    Args:
+        config: Model/workload geometry (tables, batch, lookups, rows).
+        distributions: Per-table access distribution.  A single distribution
+            may be shared across tables.
+        seed: Base seed; batch ``i`` is generated from ``(seed, i)`` so that
+            future batches can be inspected without consuming the stream.
+        num_batches: Trace length.
+        with_dense: Also generate dense features and labels (needed for
+            functional training; timing experiments skip them).
+    """
+
+    config: ModelConfig
+    distributions: Sequence[AccessDistribution]
+    seed: int = 0
+    num_batches: int = 64
+    with_dense: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.distributions) not in (1, self.config.num_tables):
+            raise ValueError(
+                "distributions must have length 1 or num_tables "
+                f"({self.config.num_tables}), got {len(self.distributions)}"
+            )
+        if self.num_batches < 1:
+            raise ValueError(f"num_batches must be >= 1, got {self.num_batches}")
+        for dist in self.distributions:
+            if dist.num_rows != self.config.rows_per_table:
+                raise ValueError(
+                    "distribution row count "
+                    f"({dist.num_rows}) must match rows_per_table "
+                    f"({self.config.rows_per_table})"
+                )
+
+    def __len__(self) -> int:
+        return self.num_batches
+
+    def _distribution_for(self, table: int) -> AccessDistribution:
+        if len(self.distributions) == 1:
+            return self.distributions[0]
+        return self.distributions[table]
+
+    def batch(self, index: int) -> MiniBatch:
+        """Materialise batch ``index`` deterministically."""
+        if not 0 <= index < self.num_batches:
+            raise IndexError(
+                f"batch index {index} out of range [0, {self.num_batches})"
+            )
+        cfg = self.config
+        rng = np.random.default_rng((self.seed, index))
+        per_table = cfg.batch_size * cfg.lookups_per_table
+        ids = np.empty(
+            (cfg.num_tables, cfg.batch_size, cfg.lookups_per_table), dtype=np.int64
+        )
+        for table in range(cfg.num_tables):
+            ids[table] = self._distribution_for(table).sample(per_table, rng).reshape(
+                cfg.batch_size, cfg.lookups_per_table
+            )
+        dense = None
+        labels = None
+        if self.with_dense:
+            dense = rng.standard_normal(
+                (cfg.batch_size, cfg.num_dense_features)
+            ).astype(np.float32)
+            labels = (rng.random(cfg.batch_size) < 0.5).astype(np.float32)
+        return MiniBatch(index=index, sparse_ids=ids, dense=dense, labels=labels)
+
+    def __getitem__(self, index: int) -> MiniBatch:
+        return self.batch(index)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        for index in range(self.num_batches):
+            yield self.batch(index)
+
+
+class MaterialisedDataset:
+    """A trace prefix held in memory.
+
+    Experiments run several systems over the *same* batches; materialising
+    the prefix once avoids regenerating synthetic batches per system.
+    Implements the same ``batch(i)`` / ``__len__`` protocol datasets do.
+    """
+
+    def __init__(self, dataset: SyntheticDataset, num_batches: Optional[int] = None):
+        total = len(dataset)
+        num_batches = total if num_batches is None else num_batches
+        if not 0 < num_batches <= total:
+            raise ValueError(
+                f"num_batches must be in [1, {total}], got {num_batches}"
+            )
+        self.config = dataset.config
+        self._batches = [dataset.batch(i) for i in range(num_batches)]
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def batch(self, index: int) -> MiniBatch:
+        """Return the materialised batch at ``index``."""
+        return self._batches[index]
+
+    def __getitem__(self, index: int) -> MiniBatch:
+        return self._batches[index]
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        return iter(self._batches)
+
+
+def make_dataset(
+    config: ModelConfig,
+    locality: str,
+    seed: int = 0,
+    num_batches: int = 64,
+    with_dense: bool = False,
+) -> SyntheticDataset:
+    """Build a benchmark dataset for one of the paper's locality classes.
+
+    Args:
+        config: Model/workload geometry.
+        locality: ``"random"`` / ``"low"`` / ``"medium"`` / ``"high"``.
+        seed: Deterministic base seed.
+        num_batches: Trace length.
+        with_dense: Include dense features and labels.
+    """
+    distribution = locality_distribution(locality, config.rows_per_table)
+    return SyntheticDataset(
+        config=config,
+        distributions=(distribution,),
+        seed=seed,
+        num_batches=num_batches,
+        with_dense=with_dense,
+    )

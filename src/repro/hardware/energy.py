@@ -1,0 +1,74 @@
+"""Energy model reproducing the paper's Figure 14 methodology.
+
+The paper measures CPU socket power with ``pcm-power`` and GPU board power
+with ``nvidia-smi`` and multiplies the aggregate by execution time.  We do
+the analytic equivalent: each portion of an iteration is attributed to the
+devices it keeps busy; a busy device draws its active power and an idle
+device its idle power; energy is the power-weighted time integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
+
+#: Devices recognised by the energy model.
+CPU = "cpu"
+GPU = "gpu"
+_KNOWN_DEVICES = (CPU, GPU)
+
+
+@dataclass(frozen=True)
+class EnergySlice:
+    """A span of wall-clock time and the devices busy during it.
+
+    Attributes:
+        seconds: Duration of the slice.
+        busy: Devices actively working during the slice (subset of
+            ``{"cpu", "gpu"}``); both directions of a PCIe copy keep both
+            devices' memory systems busy, so transfers list both.
+    """
+
+    seconds: float
+    busy: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+        for device in self.busy:
+            if device not in _KNOWN_DEVICES:
+                raise ValueError(
+                    f"unknown device {device!r}; expected one of {_KNOWN_DEVICES}"
+                )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Computes Joules for a sequence of :class:`EnergySlice` spans."""
+
+    hardware: HardwareSpec = field(default_factory=lambda: DEFAULT_HARDWARE)
+
+    def _power(self, device: str, busy: bool) -> float:
+        power = self.hardware.power
+        if device == CPU:
+            return power.cpu_active_w if busy else power.cpu_idle_w
+        return power.gpu_active_w if busy else power.gpu_idle_w
+
+    def slice_energy(self, piece: EnergySlice) -> float:
+        """Joules consumed by one slice across both devices."""
+        total_power = sum(
+            self._power(device, device in piece.busy) for device in _KNOWN_DEVICES
+        )
+        return total_power * piece.seconds
+
+    def total_energy(self, slices: Iterable[EnergySlice]) -> float:
+        """Joules consumed by a full iteration described as slices."""
+        return sum(self.slice_energy(piece) for piece in slices)
+
+    def breakdown(
+        self, named_slices: Mapping[str, EnergySlice]
+    ) -> Dict[str, float]:
+        """Per-stage Joules keyed by stage name."""
+        return {name: self.slice_energy(s) for name, s in named_slices.items()}

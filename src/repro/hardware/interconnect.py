@@ -1,0 +1,66 @@
+"""Transfer cost model for CPU<->GPU and GPU<->GPU interconnects.
+
+ScratchPipe's [Exchange] stage simultaneously copies missed embeddings
+CPU->GPU and evicted embeddings GPU->CPU over PCIe (Section IV-B).  PCIe
+gen3 is full duplex, so a bidirectional exchange costs the maximum of the
+two directions rather than their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import LinkSpec
+
+
+@dataclass(frozen=True)
+class Link:
+    """Cost model wrapper around a :class:`LinkSpec`.  Times in seconds."""
+
+    spec: LinkSpec
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time for a one-directional bulk copy of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.spec.latency_s + n_bytes / self.spec.effective_bandwidth
+
+    def exchange_time(self, bytes_forward: float, bytes_backward: float) -> float:
+        """Time for a bidirectional exchange.
+
+        Args:
+            bytes_forward: Bytes moved in the primary direction (CPU->GPU).
+            bytes_backward: Bytes moved in the opposite direction.
+
+        Full-duplex links overlap the two directions; half-duplex links
+        serialise them.
+        """
+        forward = self.transfer_time(bytes_forward)
+        backward = self.transfer_time(bytes_backward)
+        if self.spec.full_duplex:
+            return max(forward, backward)
+        return forward + backward
+
+    def allto_all_time(self, n_bytes_per_gpu: float, num_gpus: int) -> float:
+        """Time for an all-to-all of ``n_bytes_per_gpu`` across ``num_gpus``.
+
+        Each GPU sends ``(num_gpus - 1) / num_gpus`` of its payload to peers;
+        with full-duplex links the send and receive overlap.
+        """
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        if num_gpus == 1:
+            return 0.0
+        remote_fraction = (num_gpus - 1) / num_gpus
+        return self.transfer_time(n_bytes_per_gpu * remote_fraction)
+
+    def allreduce_time(self, n_bytes: float, num_gpus: int) -> float:
+        """Time for a ring all-reduce of an ``n_bytes`` buffer."""
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        if num_gpus == 1:
+            return 0.0
+        # Ring all-reduce moves 2 * (N-1)/N of the buffer per GPU.
+        return self.transfer_time(2.0 * n_bytes * (num_gpus - 1) / num_gpus)

@@ -1,0 +1,81 @@
+"""Bandwidth/latency cost model for a single memory device.
+
+Every embedding-layer primitive in the paper (gather, scatter, gradient
+duplication, coalescing) is memory-bandwidth limited (Section II-B), so its
+latency is modelled as ``bytes_moved / effective_bandwidth`` plus a fixed
+per-operation software overhead.  The effective bandwidth depends on the
+access pattern: row-granular random accesses (gather/scatter) achieve a much
+lower fraction of peak than streaming accesses (duplication buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import MemorySpec
+
+#: Access-pattern selector for :meth:`MemoryDevice.access_time`.
+RANDOM = "random"
+SEQUENTIAL = "sequential"
+#: Full-row writes to random addresses: store buffers and write combining
+#: keep them pipelined, unlike dependent random reads.
+SCATTERED_WRITE = "scattered_write"
+
+_VALID_PATTERNS = (RANDOM, SEQUENTIAL, SCATTERED_WRITE)
+
+
+@dataclass(frozen=True)
+class MemoryDevice:
+    """Cost model wrapper around a :class:`MemorySpec`.
+
+    All methods return seconds.  ``n_bytes`` of zero is legal and costs
+    nothing (not even the fixed overhead) so that callers can charge
+    operations unconditionally.
+    """
+
+    spec: MemorySpec
+
+    def _bandwidth(self, pattern: str) -> float:
+        if pattern == RANDOM:
+            return self.spec.random_bandwidth
+        if pattern == SEQUENTIAL:
+            return self.spec.sequential_bandwidth
+        if pattern == SCATTERED_WRITE:
+            return self.spec.scattered_write_bandwidth
+        raise ValueError(
+            f"unknown access pattern {pattern!r}; expected one of {_VALID_PATTERNS}"
+        )
+
+    def access_time(self, n_bytes: float, pattern: str = RANDOM) -> float:
+        """Time to move ``n_bytes`` through this device.
+
+        Args:
+            n_bytes: Total bytes read or written.
+            pattern: ``"random"`` for row-granular sparse accesses,
+                ``"sequential"`` for streaming accesses.
+        """
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.spec.access_latency_s + n_bytes / self._bandwidth(pattern)
+
+    def read_time(self, n_bytes: float, pattern: str = RANDOM) -> float:
+        """Time to read ``n_bytes`` (alias of :meth:`access_time`)."""
+        return self.access_time(n_bytes, pattern)
+
+    def write_time(self, n_bytes: float, pattern: str = RANDOM) -> float:
+        """Time to write ``n_bytes`` (alias of :meth:`access_time`)."""
+        return self.access_time(n_bytes, pattern)
+
+    def read_modify_write_time(self, n_bytes: float, pattern: str = RANDOM) -> float:
+        """Time for a read-modify-write of ``n_bytes`` payload.
+
+        Gradient scatter with an SGD optimiser reads the existing row,
+        applies the update and writes it back, moving the payload twice.
+        """
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.spec.access_latency_s + 2.0 * n_bytes / self._bandwidth(pattern)

@@ -1,0 +1,171 @@
+"""The full DLRM-style RecSys model (Figure 1).
+
+Two classes are exported:
+
+* :class:`DenseNetwork` — bottom MLP + feature interaction + top MLP + loss.
+  It deliberately excludes the embedding layers: every system design in
+  ``repro.systems`` supplies pooled embeddings its own way (from CPU tables,
+  a static cache, or the ScratchPipe scratchpad) and consumes the pooled
+  gradients this network returns.  This split mirrors the paper's pipeline
+  diagrams (Figure 4) where embedding stages and MLP stages are distinct.
+
+* :class:`DLRMModel` — a reference single-memory-space model combining
+  embedding tables with a :class:`DenseNetwork`.  It is the "algorithmic
+  ground truth" the equivalence tests compare every system against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.trace import MiniBatch
+from repro.model.config import ModelConfig
+from repro.model.embedding import EmbeddingTable, initialise_tables
+from repro.model.interaction import DotInteraction
+from repro.model.loss import bce_with_logits, bce_with_logits_grad
+from repro.model.mlp import MLP
+from repro.model.optimizer import SGD
+
+
+@dataclass
+class DenseNetwork:
+    """Bottom MLP, dot interaction, top MLP and BCE loss.
+
+    Construct with :meth:`initialise`; the forward/backward pair caches the
+    intermediate state a single training step needs.
+    """
+
+    config: ModelConfig
+    bottom_mlp: MLP
+    top_mlp: MLP
+    interaction: DotInteraction = field(default_factory=DotInteraction)
+    _logits: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @classmethod
+    def initialise(
+        cls, config: ModelConfig, rng: np.random.Generator
+    ) -> "DenseNetwork":
+        """Create a dense network with randomly initialised MLPs."""
+        bottom = MLP.initialise(config.num_dense_features, config.bottom_mlp, rng)
+        top = MLP.initialise(config.top_mlp_input_features(), config.top_mlp, rng)
+        return cls(config=config, bottom_mlp=bottom, top_mlp=top)
+
+    def forward(self, dense: np.ndarray, pooled: np.ndarray) -> np.ndarray:
+        """Predict CTR logits.
+
+        Args:
+            dense: ``(batch, num_dense_features)`` continuous inputs.
+            pooled: ``(batch, num_tables, dim)`` pooled embeddings.
+
+        Returns:
+            ``(batch,)`` raw logits.
+        """
+        bottom_out = self.bottom_mlp.forward(dense)
+        interacted = self.interaction.forward(bottom_out, pooled)
+        self._logits = self.top_mlp.forward(interacted).reshape(-1)
+        return self._logits
+
+    def loss(self, labels: np.ndarray) -> float:
+        """BCE loss of the most recent forward pass."""
+        if self._logits is None:
+            raise RuntimeError("loss called before forward")
+        return bce_with_logits(self._logits, labels)
+
+    def backward(self, labels: np.ndarray) -> np.ndarray:
+        """Backward pass through the dense network.
+
+        Returns the gradient w.r.t. the pooled embeddings,
+        ``(batch, num_tables, dim)`` — exactly what the embedding backward
+        stages of Figure 4 consume.  Parameter gradients are cached inside
+        the MLP layers until :meth:`step`.
+        """
+        if self._logits is None:
+            raise RuntimeError("backward called before forward")
+        grad_logits = bce_with_logits_grad(self._logits, labels)
+        grad_interacted = self.top_mlp.backward(grad_logits[:, None])
+        grad_bottom_out, grad_pooled = self.interaction.backward(grad_interacted)
+        self.bottom_mlp.backward(grad_bottom_out)
+        return grad_pooled
+
+    def step(self, optimizer: SGD) -> None:
+        """Apply cached MLP parameter gradients."""
+        optimizer.step_dense(self.bottom_mlp)
+        optimizer.step_dense(self.top_mlp)
+
+    def copy_parameters_from(self, other: "DenseNetwork") -> None:
+        """Clone another network's parameters (for equivalence tests)."""
+        self.bottom_mlp.copy_parameters_from(other.bottom_mlp)
+        self.top_mlp.copy_parameters_from(other.top_mlp)
+
+
+@dataclass
+class DLRMModel:
+    """Reference DLRM: embedding tables + dense network in one memory space.
+
+    This is the algorithmic baseline every system design must match
+    bit-for-bit (the paper's correctness claim, Section IV).
+    """
+
+    config: ModelConfig
+    tables: List[EmbeddingTable]
+    dense_network: DenseNetwork
+    optimizer: SGD = field(default_factory=SGD)
+
+    @classmethod
+    def initialise(
+        cls,
+        config: ModelConfig,
+        seed: int = 0,
+        optimizer: Optional[SGD] = None,
+    ) -> "DLRMModel":
+        """Create a model with deterministic random initialisation."""
+        rng = np.random.default_rng(seed)
+        tables = initialise_tables(config, rng)
+        dense = DenseNetwork.initialise(config, rng)
+        return cls(
+            config=config,
+            tables=tables,
+            dense_network=dense,
+            optimizer=optimizer or SGD(),
+        )
+
+    def pooled_embeddings(self, batch: MiniBatch) -> np.ndarray:
+        """Gather + reduce all tables: ``(batch, num_tables, dim)``."""
+        pooled = np.stack(
+            [
+                self.tables[t].forward(batch.sparse_ids[t])
+                for t in range(self.config.num_tables)
+            ],
+            axis=1,
+        )
+        return pooled
+
+    def train_step(self, batch: MiniBatch) -> float:
+        """One full forward/backward/update iteration; returns the loss."""
+        if batch.dense is None or batch.labels is None:
+            raise ValueError("train_step requires a batch with dense features "
+                             "and labels (with_dense=True datasets)")
+        pooled = self.pooled_embeddings(batch)
+        self.dense_network.forward(batch.dense, pooled)
+        loss = self.dense_network.loss(batch.labels)
+        grad_pooled = self.dense_network.backward(batch.labels)
+        for t in range(self.config.num_tables):
+            self.optimizer.step_sparse(
+                self.tables[t], batch.sparse_ids[t], grad_pooled[:, t, :]
+            )
+        self.dense_network.step(self.optimizer)
+        return loss
+
+    def predict(self, batch: MiniBatch) -> np.ndarray:
+        """Forward-only CTR probabilities for a batch."""
+        if batch.dense is None:
+            raise ValueError("predict requires dense features")
+        pooled = self.pooled_embeddings(batch)
+        logits = self.dense_network.forward(batch.dense, pooled)
+        # Stable sigmoid via the loss module's helper.
+        from repro.model.loss import sigmoid
+
+        return sigmoid(logits)

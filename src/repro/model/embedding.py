@@ -1,0 +1,211 @@
+"""Embedding tables and the paper's four embedding-layer primitives.
+
+Figure 2 of the paper decomposes embedding-layer training into:
+
+* forward:  embedding **gather** (sparse row reads) + **reduction** (sum
+  pooling of the gathered rows per sample), and
+* backward: gradient **duplication** (each pooled gradient fans out to every
+  row its sample gathered), **coalescing** (gradients of rows gathered
+  multiple times are summed) and **scatter** (the coalesced gradients update
+  the table rows in place).
+
+This module implements each primitive as a standalone, testable function and
+wraps table state in :class:`EmbeddingTable`.  Every system design in
+``repro.systems`` routes its functional math through these primitives so that
+the correctness-equivalence tests compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+
+
+def gather_rows(table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Gather rows ``ids`` from ``table`` (Figure 2(a), left).
+
+    Args:
+        table: float32 array ``(rows, dim)``.
+        ids: int array of any shape; values index rows of ``table``.
+
+    Returns:
+        Array of shape ``ids.shape + (dim,)``.
+    """
+    return table[ids]
+
+
+def sum_pool(gathered: np.ndarray) -> np.ndarray:
+    """Reduce gathered rows per sample (Figure 2(a), right).
+
+    Args:
+        gathered: ``(batch, lookups, dim)`` gathered embeddings.
+
+    Returns:
+        ``(batch, dim)`` pooled embeddings.
+    """
+    if gathered.ndim != 3:
+        raise ValueError(
+            f"expected (batch, lookups, dim) input, got shape {gathered.shape}"
+        )
+    return gathered.sum(axis=1)
+
+
+def duplicate_gradients(pooled_grad: np.ndarray, lookups: int) -> np.ndarray:
+    """Fan a pooled gradient out to each gathered row (Figure 2(b), left).
+
+    With sum pooling, every row a sample gathered receives the sample's
+    pooled gradient unchanged.
+
+    Args:
+        pooled_grad: ``(batch, dim)`` gradient of the pooled output.
+        lookups: Number of rows each sample gathered.
+
+    Returns:
+        ``(batch, lookups, dim)`` duplicated per-lookup gradients.
+    """
+    if pooled_grad.ndim != 2:
+        raise ValueError(
+            f"expected (batch, dim) pooled gradient, got shape {pooled_grad.shape}"
+        )
+    if lookups < 1:
+        raise ValueError(f"lookups must be >= 1, got {lookups}")
+    return np.broadcast_to(
+        pooled_grad[:, None, :],
+        (pooled_grad.shape[0], lookups, pooled_grad.shape[1]),
+    )
+
+
+def coalesce_gradients(
+    ids: np.ndarray, grads: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum gradients of repeated row IDs (Figure 2(b), middle).
+
+    Args:
+        ids: int array ``(n,)`` of row IDs (duplicates allowed).
+        grads: float32 array ``(n, dim)`` of per-lookup gradients.
+
+    Returns:
+        ``(unique_ids, coalesced)`` where ``unique_ids`` is sorted and
+        ``coalesced[i]`` is the sum of all gradients whose ID equals
+        ``unique_ids[i]``.
+    """
+    ids = np.asarray(ids).reshape(-1)
+    if grads.shape[0] != ids.shape[0]:
+        raise ValueError(
+            f"ids ({ids.shape[0]}) and grads ({grads.shape[0]}) length mismatch"
+        )
+    unique_ids, inverse = np.unique(ids, return_inverse=True)
+    coalesced = np.zeros((unique_ids.shape[0], grads.shape[1]), dtype=grads.dtype)
+    np.add.at(coalesced, inverse, grads)
+    return unique_ids, coalesced
+
+
+def sgd_scatter(
+    table: np.ndarray, ids: np.ndarray, grads: np.ndarray, lr: float
+) -> None:
+    """Apply coalesced gradients to table rows in place (Figure 2(b), right).
+
+    Args:
+        table: float32 array ``(rows, dim)``; updated in place.
+        ids: ``(k,)`` unique row IDs.
+        grads: ``(k, dim)`` coalesced gradients.
+        lr: SGD learning rate.
+    """
+    ids = np.asarray(ids).reshape(-1)
+    if np.unique(ids).shape[0] != ids.shape[0]:
+        raise ValueError("sgd_scatter requires unique IDs; coalesce first")
+    table[ids] -= lr * grads
+
+
+@dataclass
+class EmbeddingTable:
+    """One embedding table with in-place SGD training.
+
+    Attributes:
+        weights: float32 array ``(rows, dim)``.
+    """
+
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.weights.ndim != 2:
+            raise ValueError(
+                f"weights must be 2-D (rows, dim), got shape {self.weights.shape}"
+            )
+
+    @classmethod
+    def initialise(
+        cls, rows: int, dim: int, rng: np.random.Generator, scale: float = 0.01
+    ) -> "EmbeddingTable":
+        """Create a table with small random normal weights."""
+        weights = (scale * rng.standard_normal((rows, dim))).astype(np.float32)
+        return cls(weights=weights)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self.weights.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimension."""
+        return self.weights.shape[1]
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        """Gather + sum-pool: ``(batch, lookups)`` IDs -> ``(batch, dim)``."""
+        if ids.ndim != 2:
+            raise ValueError(
+                f"expected (batch, lookups) ids, got shape {ids.shape}"
+            )
+        return sum_pool(gather_rows(self.weights, ids))
+
+    def backward(
+        self, ids: np.ndarray, pooled_grad: np.ndarray, lr: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Duplicate + coalesce + scatter for one batch.
+
+        Args:
+            ids: ``(batch, lookups)`` IDs used in :meth:`forward`.
+            pooled_grad: ``(batch, dim)`` gradient of the pooled output.
+            lr: SGD learning rate.
+
+        Returns:
+            ``(unique_ids, coalesced_grads)`` — useful to callers that track
+            which rows were touched (e.g. cache writeback bookkeeping).
+        """
+        duplicated = duplicate_gradients(pooled_grad, ids.shape[1])
+        unique_ids, coalesced = coalesce_gradients(
+            ids.reshape(-1), duplicated.reshape(-1, pooled_grad.shape[1])
+        )
+        sgd_scatter(self.weights, unique_ids, coalesced, lr)
+        return unique_ids, coalesced
+
+
+def initialise_tables(
+    config: ModelConfig, rng: np.random.Generator, scale: float = 0.01
+) -> List[EmbeddingTable]:
+    """Create all of a model's embedding tables."""
+    return [
+        EmbeddingTable.initialise(
+            config.rows_per_table, config.embedding_dim, rng, scale
+        )
+        for _ in range(config.num_tables)
+    ]
+
+
+def tables_allclose(
+    left: Sequence[EmbeddingTable],
+    right: Sequence[EmbeddingTable],
+    atol: float = 0.0,
+) -> bool:
+    """True when two sets of tables hold (near-)identical weights."""
+    if len(left) != len(right):
+        return False
+    return all(
+        np.allclose(a.weights, b.weights, atol=atol, rtol=0.0)
+        for a, b in zip(left, right)
+    )

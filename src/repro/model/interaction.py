@@ -1,0 +1,86 @@
+"""DLRM dot-product feature interaction (forward + backward).
+
+The feature-interaction stage (Figure 1) combines the bottom-MLP output with
+the per-table pooled embeddings.  Following the DLRM reference the paper's
+model is based on, we compute all pairwise dot products between the
+``num_tables + 1`` feature vectors and concatenate the strictly-lower-
+triangular results with the bottom-MLP output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DotInteraction:
+    """Pairwise dot-product interaction with cached state for backward."""
+
+    _vectors: Optional[np.ndarray] = field(default=None, repr=False)
+    _tri_rows: Optional[np.ndarray] = field(default=None, repr=False)
+    _tri_cols: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def forward(self, bottom_out: np.ndarray, pooled: np.ndarray) -> np.ndarray:
+        """Compute the interaction features.
+
+        Args:
+            bottom_out: ``(batch, dim)`` bottom-MLP output.
+            pooled: ``(batch, num_tables, dim)`` pooled embeddings.
+
+        Returns:
+            ``(batch, dim + n*(n-1)/2)`` with ``n = num_tables + 1``: the
+            bottom output concatenated with the pairwise dot products.
+        """
+        if bottom_out.ndim != 2 or pooled.ndim != 3:
+            raise ValueError(
+                "expected bottom_out (batch, dim) and pooled "
+                f"(batch, tables, dim), got {bottom_out.shape} and {pooled.shape}"
+            )
+        if bottom_out.shape[1] != pooled.shape[2]:
+            raise ValueError(
+                "bottom output dim "
+                f"({bottom_out.shape[1]}) must equal embedding dim "
+                f"({pooled.shape[2]})"
+            )
+        vectors = np.concatenate([bottom_out[:, None, :], pooled], axis=1)
+        n = vectors.shape[1]
+        rows, cols = np.tril_indices(n, k=-1)
+        dots = np.einsum("bnd,bmd->bnm", vectors, vectors)
+        self._vectors = vectors
+        self._tri_rows, self._tri_cols = rows, cols
+        return np.concatenate([bottom_out, dots[:, rows, cols]], axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward through the interaction.
+
+        Args:
+            grad_out: ``(batch, dim + pairs)`` gradient of the interaction
+                output.
+
+        Returns:
+            ``(grad_bottom, grad_pooled)`` with shapes ``(batch, dim)`` and
+            ``(batch, num_tables, dim)``.
+        """
+        if self._vectors is None:
+            raise RuntimeError("backward called before forward")
+        vectors = self._vectors
+        batch, n, dim = vectors.shape
+        grad_direct = grad_out[:, :dim]
+        grad_dots_flat = grad_out[:, dim:]
+        grad_dots = np.zeros((batch, n, n), dtype=grad_out.dtype)
+        grad_dots[:, self._tri_rows, self._tri_cols] = grad_dots_flat
+        # d(v_i . v_j)/dv = symmetric contribution from both operands.
+        symmetric = grad_dots + grad_dots.transpose(0, 2, 1)
+        grad_vectors = np.einsum("bnm,bmd->bnd", symmetric, vectors)
+        grad_bottom = grad_vectors[:, 0, :] + grad_direct
+        grad_pooled = grad_vectors[:, 1:, :]
+        return grad_bottom, grad_pooled
+
+
+def interaction_output_features(num_tables: int, dim: int) -> int:
+    """Width of the interaction output for ``num_tables`` tables."""
+    n = num_tables + 1
+    return dim + n * (n - 1) // 2

@@ -1,0 +1,43 @@
+"""Binary cross-entropy with logits — the paper's CTR prediction loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out.astype(z.dtype) if z.dtype == np.float32 else out
+
+
+def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy computed from raw logits.
+
+    Uses the log-sum-exp form ``max(z, 0) - z*y + log(1 + exp(-|z|))`` to
+    avoid overflow for large |z|.
+    """
+    z = logits.reshape(-1).astype(np.float64)
+    y = labels.reshape(-1).astype(np.float64)
+    if z.shape != y.shape:
+        raise ValueError(f"logits {z.shape} and labels {y.shape} mismatch")
+    per_sample = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+    return float(per_sample.mean())
+
+
+def bce_with_logits_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`bce_with_logits` w.r.t. the logits.
+
+    Returns an array with the same shape as ``logits``; the mean reduction
+    divides by the batch size.
+    """
+    z = logits.reshape(-1)
+    y = labels.reshape(-1)
+    if z.shape != y.shape:
+        raise ValueError(f"logits {z.shape} and labels {y.shape} mismatch")
+    grad = (sigmoid(z.astype(np.float64)) - y.astype(np.float64)) / z.shape[0]
+    return grad.reshape(logits.shape).astype(np.float32)

@@ -1,0 +1,127 @@
+"""Multi-layer perceptron with manual forward/backward (numpy).
+
+Implements the paper's "DNN layers": the bottom MLP that transforms dense
+features and the top MLP that consumes the feature interaction output
+(Figure 1).  Hidden layers use ReLU; the final layer is linear so it can
+emit either an embedding-sized vector (bottom) or a CTR logit (top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LinearLayer:
+    """One affine layer ``y = x @ W + b`` with cached activations."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    _input: Optional[np.ndarray] = field(default=None, repr=False)
+    grad_weight: Optional[np.ndarray] = field(default=None, repr=False)
+    grad_bias: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @classmethod
+    def initialise(
+        cls, fan_in: int, fan_out: int, rng: np.random.Generator
+    ) -> "LinearLayer":
+        """He-style initialisation suitable for ReLU networks."""
+        scale = np.sqrt(2.0 / fan_in)
+        weight = (scale * rng.standard_normal((fan_in, fan_out))).astype(np.float32)
+        bias = np.zeros(fan_out, dtype=np.float32)
+        return cls(weight=weight, bias=bias)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine forward; caches the input for backward."""
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads and return the input gradient."""
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight = self._input.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def step(self, lr: float) -> None:
+        """Apply one SGD update from the cached gradients."""
+        if self.grad_weight is None or self.grad_bias is None:
+            raise RuntimeError("step called before backward")
+        self.weight -= lr * self.grad_weight
+        self.bias -= lr * self.grad_bias
+        self.grad_weight = None
+        self.grad_bias = None
+
+
+@dataclass
+class MLP:
+    """A stack of :class:`LinearLayer` with ReLU between hidden layers.
+
+    The final layer is linear (no activation), matching the DLRM reference:
+    the bottom MLP's output joins the feature interaction unsquashed and the
+    top MLP emits a raw logit.
+    """
+
+    layers: List[LinearLayer]
+    _relu_masks: List[np.ndarray] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def initialise(
+        cls, input_features: int, hidden: Sequence[int], rng: np.random.Generator
+    ) -> "MLP":
+        """Create an MLP with the given hidden sizes."""
+        if not hidden:
+            raise ValueError("hidden must contain at least one layer size")
+        layers = []
+        fan_in = input_features
+        for fan_out in hidden:
+            layers.append(LinearLayer.initialise(fan_in, fan_out, rng))
+            fan_in = fan_out
+        return cls(layers=layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass caching ReLU masks for backward."""
+        self._relu_masks = []
+        out = x
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            out = layer.forward(out)
+            if i != last:
+                mask = out > 0
+                self._relu_masks.append(mask)
+                out = out * mask
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; returns the gradient w.r.t. the MLP input."""
+        if len(self._relu_masks) != len(self.layers) - 1:
+            raise RuntimeError("backward called before forward")
+        grad = grad_out
+        for i in range(len(self.layers) - 1, -1, -1):
+            if i != len(self.layers) - 1:
+                grad = grad * self._relu_masks[i]
+            grad = self.layers[i].backward(grad)
+        return grad
+
+    def step(self, lr: float) -> None:
+        """SGD-update every layer."""
+        for layer in self.layers:
+            layer.step(lr)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """List of ``(weight, bias)`` pairs (live views, not copies)."""
+        return [(layer.weight, layer.bias) for layer in self.layers]
+
+    def copy_parameters_from(self, other: "MLP") -> None:
+        """Copy another MLP's parameters into this one (shapes must match)."""
+        if len(self.layers) != len(other.layers):
+            raise ValueError("layer count mismatch")
+        for mine, theirs in zip(self.layers, other.layers):
+            if mine.weight.shape != theirs.weight.shape:
+                raise ValueError("layer shape mismatch")
+            mine.weight[...] = theirs.weight
+            mine.bias[...] = theirs.bias

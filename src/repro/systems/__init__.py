@@ -1,0 +1,77 @@
+"""End-to-end training-system design points (Section VI's four systems)."""
+
+from repro.systems.adagrad_scratchpipe import (
+    AdagradScratchPipeRun,
+    AdagradScratchPipeTrainer,
+    augment_tables,
+    split_tables,
+)
+from repro.systems.base import (
+    CPU_EMB_BACKWARD,
+    CPU_EMB_FORWARD,
+    GPU_GROUP,
+    BatchAccessStats,
+    IterationBreakdown,
+    StageTime,
+    SystemRunResult,
+    TrainingSystem,
+    batch_access_stats,
+)
+from repro.systems.hybrid import HybridSystem, HybridTrainer
+from repro.systems.multigpu import MultiGpuSystem
+from repro.systems.overlapped_hybrid import OverlappedHybridSystem
+from repro.systems.multigpu_scratchpipe import (
+    MultiGpuScratchPipeSystem,
+    tco_comparison,
+)
+from repro.systems.scratchpipe_system import (
+    ScratchPipeSystem,
+    ScratchPipeTrainer,
+    ScratchPipeTrainingRun,
+    make_scratchpads,
+)
+from repro.systems.metrics import ThroughputReport, speedup, throughput_report
+from repro.systems.stages import CACHE_STAGES, cache_stage_times
+from repro.systems.static_cache import (
+    SplitStats,
+    StaticCacheSystem,
+    StaticCacheTrainer,
+    split_batch,
+)
+from repro.systems.strawman_system import StrawmanSystem
+
+__all__ = [
+    "AdagradScratchPipeRun",
+    "AdagradScratchPipeTrainer",
+    "augment_tables",
+    "split_tables",
+    "CPU_EMB_BACKWARD",
+    "CPU_EMB_FORWARD",
+    "GPU_GROUP",
+    "BatchAccessStats",
+    "IterationBreakdown",
+    "StageTime",
+    "SystemRunResult",
+    "TrainingSystem",
+    "batch_access_stats",
+    "HybridSystem",
+    "HybridTrainer",
+    "MultiGpuSystem",
+    "OverlappedHybridSystem",
+    "MultiGpuScratchPipeSystem",
+    "tco_comparison",
+    "ScratchPipeSystem",
+    "ScratchPipeTrainer",
+    "ScratchPipeTrainingRun",
+    "make_scratchpads",
+    "ThroughputReport",
+    "speedup",
+    "throughput_report",
+    "CACHE_STAGES",
+    "cache_stage_times",
+    "SplitStats",
+    "StaticCacheSystem",
+    "StaticCacheTrainer",
+    "split_batch",
+    "StrawmanSystem",
+]

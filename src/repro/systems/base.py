@@ -1,0 +1,189 @@
+"""Shared infrastructure for the end-to-end training-system design points.
+
+The paper evaluates four designs (Section VI): the hybrid CPU-GPU baseline,
+a CPU-GPU with a static GPU embedding cache, the straw-man dynamic cache
+without pipelining, and the pipelined ScratchPipe.  Every design is a
+:class:`TrainingSystem` that turns a trace into per-iteration
+:class:`IterationBreakdown` objects (stage latencies + device attribution)
+and a :class:`SystemRunResult` (wall-clock and energy per iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.trace import MiniBatch
+from repro.hardware.energy import CPU, GPU, EnergyModel, EnergySlice
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.timing import CostModel
+from repro.model.config import ModelConfig
+
+#: Stage-group labels used by Figures 5 and 12(a).
+CPU_EMB_FORWARD = "cpu_embedding_forward"
+CPU_EMB_BACKWARD = "cpu_embedding_backward"
+GPU_GROUP = "gpu"
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """One priced stage of an iteration.
+
+    Attributes:
+        name: Stage name (system specific).
+        group: Reporting group (e.g. Figure 5's CPU-forward/CPU-backward/GPU).
+        seconds: Stage latency.
+        busy: Devices kept busy, for energy attribution.
+    """
+
+    name: str
+    group: str
+    seconds: float
+    busy: Tuple[str, ...]
+
+    def energy_slice(self) -> EnergySlice:
+        """Convert to an energy-model slice."""
+        return EnergySlice(seconds=self.seconds, busy=self.busy)
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """All priced stages of one training iteration."""
+
+    stages: Tuple[StageTime, ...]
+
+    @property
+    def total(self) -> float:
+        """Sum of stage latencies (the iteration time of sequential systems)."""
+        return sum(s.seconds for s in self.stages)
+
+    def by_group(self) -> Dict[str, float]:
+        """Stage latencies summed per reporting group."""
+        grouped: Dict[str, float] = {}
+        for stage in self.stages:
+            grouped[stage.group] = grouped.get(stage.group, 0.0) + stage.seconds
+        return grouped
+
+    def by_stage(self) -> Dict[str, float]:
+        """Stage latencies keyed by stage name."""
+        return {s.name: s.seconds for s in self.stages}
+
+    def sequential_energy(self, model: EnergyModel) -> float:
+        """Joules when the stages execute back-to-back (sequential systems)."""
+        return model.total_energy(s.energy_slice() for s in self.stages)
+
+
+@dataclass
+class SystemRunResult:
+    """Per-iteration outcomes of running a system over a trace.
+
+    Attributes:
+        system: System name.
+        breakdowns: Per-iteration stage latencies (trace order).
+        iteration_times: Wall-clock seconds attributed to each iteration
+            (for pipelined systems this is the steady-state cycle time, not
+            the sum of that batch's stage latencies).
+        energies: Joules attributed to each iteration.
+    """
+
+    system: str
+    breakdowns: List[IterationBreakdown] = field(default_factory=list)
+    iteration_times: List[float] = field(default_factory=list)
+    energies: List[float] = field(default_factory=list)
+
+    def _steady(self, values: Sequence[float], warmup: int) -> np.ndarray:
+        steady = np.asarray(values[warmup:] if len(values) > warmup else values)
+        if steady.size == 0:
+            raise ValueError("no iterations recorded")
+        return steady
+
+    def mean_latency(self, warmup: int = 6) -> float:
+        """Mean steady-state iteration latency (seconds)."""
+        return float(self._steady(self.iteration_times, warmup).mean())
+
+    def mean_energy(self, warmup: int = 6) -> float:
+        """Mean steady-state energy per iteration (Joules)."""
+        return float(self._steady(self.energies, warmup).mean())
+
+    def stage_means(self, warmup: int = 6) -> Dict[str, float]:
+        """Mean per-stage latency at steady state (Figure 12 series)."""
+        steady = self.breakdowns[warmup:] if len(self.breakdowns) > warmup else self.breakdowns
+        sums: Dict[str, float] = {}
+        for breakdown in steady:
+            for name, seconds in breakdown.by_stage().items():
+                sums[name] = sums.get(name, 0.0) + seconds
+        return {k: v / len(steady) for k, v in sums.items()}
+
+    def group_means(self, warmup: int = 6) -> Dict[str, float]:
+        """Mean per-group latency at steady state (Figure 5 series)."""
+        steady = self.breakdowns[warmup:] if len(self.breakdowns) > warmup else self.breakdowns
+        sums: Dict[str, float] = {}
+        for breakdown in steady:
+            for name, seconds in breakdown.by_group().items():
+                sums[name] = sums.get(name, 0.0) + seconds
+        return {k: v / len(steady) for k, v in sums.items()}
+
+
+@dataclass(frozen=True)
+class BatchAccessStats:
+    """ID-level statistics of one batch that timing models consume.
+
+    Attributes:
+        total_lookups: Gathers issued across all tables (with duplicates).
+        unique_rows: Unique rows touched, summed over tables.
+    """
+
+    total_lookups: int
+    unique_rows: int
+
+    @property
+    def duplication_factor(self) -> float:
+        """Mean number of gathers per touched row (>= 1)."""
+        if self.unique_rows == 0:
+            return 1.0
+        return self.total_lookups / self.unique_rows
+
+
+def batch_access_stats(batch: MiniBatch) -> BatchAccessStats:
+    """Compute :class:`BatchAccessStats` for a batch."""
+    unique = sum(
+        int(batch.unique_table_ids(t).size) for t in range(batch.num_tables)
+    )
+    total = int(batch.sparse_ids.size)
+    return BatchAccessStats(total_lookups=total, unique_rows=unique)
+
+
+class TrainingSystem:
+    """Interface every design point implements."""
+
+    #: Display name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, config: ModelConfig, hardware: HardwareSpec) -> None:
+        self.config = config
+        self.hardware = hardware
+        self.cost = CostModel(hardware=hardware, config=config)
+        self.energy_model = EnergyModel(hardware=hardware)
+
+    def run_trace(
+        self, dataset_batches: object, num_batches: Optional[int] = None
+    ) -> SystemRunResult:
+        """Run (timing-wise) over ``num_batches`` of a trace."""
+        raise NotImplementedError
+
+
+def cpu_stage(name: str, group: str, seconds: float) -> StageTime:
+    """A stage that keeps only the CPU busy."""
+    return StageTime(name=name, group=group, seconds=seconds, busy=(CPU,))
+
+
+def gpu_stage(name: str, group: str, seconds: float) -> StageTime:
+    """A stage that keeps only the GPU busy."""
+    return StageTime(name=name, group=group, seconds=seconds, busy=(GPU,))
+
+
+def transfer_stage(name: str, group: str, seconds: float) -> StageTime:
+    """A PCIe transfer keeps both sides' memory systems busy."""
+    return StageTime(name=name, group=group, seconds=seconds, busy=(CPU, GPU))

@@ -1,0 +1,75 @@
+"""Training-throughput and epoch-level metrics derived from system results.
+
+The paper reports per-iteration latency (Figures 12-15, Table I) and frames
+the economic argument per million iterations.  Downstream users usually
+think in samples/second and time/cost per epoch over a dataset of a given
+size; this module provides that arithmetic on top of
+:class:`repro.systems.base.SystemRunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import AwsInstance
+from repro.model.config import ModelConfig
+from repro.systems.base import SystemRunResult
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput/epoch metrics of one system on one workload.
+
+    Attributes:
+        system: System name.
+        iteration_seconds: Mean steady-state iteration latency.
+        samples_per_second: Training throughput.
+        epoch_iterations: Iterations per epoch for the given dataset size.
+        epoch_seconds: Wall-clock seconds per epoch.
+        epoch_joules: Energy per epoch.
+    """
+
+    system: str
+    iteration_seconds: float
+    samples_per_second: float
+    epoch_iterations: int
+    epoch_seconds: float
+    epoch_joules: float
+
+    def epoch_cost(self, instance: AwsInstance) -> float:
+        """Dollars per epoch on the given AWS instance."""
+        return instance.price_per_hour * self.epoch_seconds / 3600.0
+
+
+def throughput_report(
+    result: SystemRunResult,
+    config: ModelConfig,
+    dataset_samples: int,
+    warmup: int = 6,
+) -> ThroughputReport:
+    """Derive epoch-level metrics from a system run.
+
+    Args:
+        result: Output of ``system.run_trace``.
+        config: Model geometry (supplies the batch size).
+        dataset_samples: Samples in one epoch of the training dataset.
+        warmup: Iterations excluded from the steady-state means.
+    """
+    if dataset_samples < 1:
+        raise ValueError(f"dataset_samples must be >= 1, got {dataset_samples}")
+    iteration = result.mean_latency(warmup=warmup)
+    energy = result.mean_energy(warmup=warmup)
+    epoch_iterations = -(-dataset_samples // config.batch_size)  # ceil div
+    return ThroughputReport(
+        system=result.system,
+        iteration_seconds=iteration,
+        samples_per_second=config.batch_size / iteration,
+        epoch_iterations=epoch_iterations,
+        epoch_seconds=iteration * epoch_iterations,
+        epoch_joules=energy * epoch_iterations,
+    )
+
+
+def speedup(baseline: ThroughputReport, candidate: ThroughputReport) -> float:
+    """Throughput speedup of ``candidate`` over ``baseline``."""
+    return candidate.samples_per_second / baseline.samples_per_second

@@ -1,0 +1,174 @@
+"""ScratchPipe extended to multi-GPU training (Section VI-G, future work).
+
+The paper sketches the design: under table-wise model parallelism each GPU
+owns a subset of the embedding tables and runs its *own* per-table cache
+managers — no inter-GPU RAW hazards arise because each partitioned table is
+locally an independent table.  This module provides the analytic timing
+model for that design point so the paper's prediction can be tested: with
+the DNNs contributing little, multi-GPU ScratchPipe underutilises the extra
+GPUs and is **less cost-effective** than the single-GPU design.
+
+Modelling choices (documented deviations):
+
+* [Collect]/[Insert] still bottleneck on the *single* CPU memory — adding
+  GPUs multiplies PCIe lanes but not DDR4 bandwidth, so the CPU-side stage
+  time does not shrink.
+* [Exchange] parallelises across the per-GPU PCIe links.
+* [Train] embedding work splits across GPUs; the dense network trains
+  data-parallel with the same batch-invariant-efficiency behaviour as
+  :class:`repro.systems.multigpu.MultiGpuSystem`, plus all-to-all and
+  all-reduce collectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import BatchCacheStats
+from repro.hardware.energy import CPU, GPU, EnergySlice
+from repro.model.config import ModelConfig, dense_parameter_bytes
+from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
+from repro.systems.scratchpipe_system import ScratchPipeSystem
+from repro.systems.stages import (
+    COLLECT,
+    EXCHANGE,
+    INSERT,
+    PLAN,
+    TRAIN,
+    collect_time,
+    insert_time,
+    plan_time,
+)
+from repro.systems.base import StageTime, gpu_stage, transfer_stage
+
+#: Pipeline offsets (same 6-stage pipeline as the single-GPU design).
+_STAGE_OFFSETS = {PLAN: 1, COLLECT: 2, EXCHANGE: 3, INSERT: 4, TRAIN: 5}
+
+
+class MultiGpuScratchPipeSystem(TrainingSystem):
+    """Analytic timing of ScratchPipe over ``num_gpus`` table-parallel GPUs."""
+
+    name = "multi_gpu_scratchpipe"
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        hardware,
+        cache_fraction: float,
+        num_gpus: int = 2,
+        policy_name: str = "lru",
+        future_window: int = 2,
+    ) -> None:
+        super().__init__(config, hardware)
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        if config.num_tables % num_gpus != 0:
+            raise ValueError(
+                f"num_gpus ({num_gpus}) must divide num_tables "
+                f"({config.num_tables}) for table-wise partitioning"
+            )
+        self.num_gpus = num_gpus
+        self.cache_fraction = cache_fraction
+        self.future_window = future_window
+        # Cache behaviour per table is unchanged — reuse the single-GPU
+        # simulator for hit/miss/victim statistics.
+        self._cache_sim = ScratchPipeSystem(
+            config, hardware, cache_fraction,
+            policy_name=policy_name, future_window=future_window,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-stage pricing
+    # ------------------------------------------------------------------
+    def _stage_times(self, stats: BatchCacheStats) -> Dict[str, StageTime]:
+        cost = self.cost
+        g = self.num_gpus
+        cfg = self.config
+
+        plan = plan_time(cost, stats, self.future_window) / g
+        # CPU DDR4 is shared: reads/writes of missed/evicted rows do not
+        # parallelise, only the GPU-side halves do.
+        collect = max(
+            cost.cpu_table_read(stats.misses),
+            cost.cache_evict_read(stats.writebacks) / g,
+        )
+        exchange = cost.row_exchange(stats.misses / g, stats.writebacks / g)
+        insert = max(
+            cost.cpu_table_write(stats.writebacks),
+            cost.cache_fill(stats.misses) / g,
+        )
+        embedding = cost.gpu_resident_embedding_train(
+            stats.total_lookups / g, stats.unique_ids / g
+        )
+        pooled_bytes_per_gpu = cfg.reduced_bytes_per_batch / g
+        collectives = 2 * cost.nvlink.allto_all_time(
+            pooled_bytes_per_gpu, g
+        ) + cost.nvlink.allreduce_time(dense_parameter_bytes(cfg), g)
+        train = embedding + cost.dense_train("gpu") + collectives
+
+        return {
+            PLAN: transfer_stage(PLAN, PLAN, plan),
+            COLLECT: transfer_stage(COLLECT, COLLECT, collect),
+            EXCHANGE: transfer_stage(EXCHANGE, EXCHANGE, exchange),
+            INSERT: transfer_stage(INSERT, INSERT, insert),
+            TRAIN: gpu_stage(TRAIN, TRAIN, train),
+        }
+
+    # ------------------------------------------------------------------
+    # Pipeline timing (same cycle rule as the single-GPU system)
+    # ------------------------------------------------------------------
+    def run_trace(
+        self, dataset_batches: object, num_batches: Optional[int] = None
+    ) -> SystemRunResult:
+        total = len(dataset_batches)
+        num_batches = total if num_batches is None else num_batches
+        all_stats = self._cache_sim.simulate_cache(dataset_batches, num_batches)
+
+        stage_seconds: List[Dict[str, float]] = []
+        result = SystemRunResult(system=self.name)
+        for stats in all_stats:
+            priced = self._stage_times(stats)
+            stage_seconds.append({k: v.seconds for k, v in priced.items()})
+            result.breakdowns.append(
+                IterationBreakdown(stages=tuple(priced.values()))
+            )
+
+        from repro.systems.scratchpipe_system import _pipelined_cycle_times
+
+        cycle_of_batch = _pipelined_cycle_times(
+            stage_seconds, self.hardware.stage_sync_s
+        )
+
+        gpu_extra_w = (self.num_gpus - 1) * self.hardware.power.gpu_active_w
+        for seconds in cycle_of_batch:
+            result.iteration_times.append(seconds)
+            base = self.energy_model.total_energy(
+                [EnergySlice(seconds=seconds, busy=(CPU, GPU))]
+            )
+            result.energies.append(base + gpu_extra_w * seconds)
+        return result
+
+
+def tco_comparison(
+    single_gpu_latency: float,
+    multi_gpu_latency: float,
+    num_gpus: int,
+    single_gpu_price_hr: float = 3.06,
+    price_per_gpu_hr: float = 3.06,
+) -> Dict[str, float]:
+    """Cost-effectiveness of scaling ScratchPipe out to ``num_gpus`` GPUs.
+
+    Returns the speedup, the cost ratio (multi / single for equal iteration
+    counts) and the marginal GPU utilisation efficiency — the paper expects
+    the latter to be well below 1 (Section VI-G).
+    """
+    if single_gpu_latency <= 0 or multi_gpu_latency <= 0:
+        raise ValueError("latencies must be positive")
+    speedup = single_gpu_latency / multi_gpu_latency
+    single_cost = single_gpu_price_hr * single_gpu_latency
+    multi_cost = price_per_gpu_hr * num_gpus * multi_gpu_latency
+    return {
+        "speedup": speedup,
+        "cost_ratio": multi_cost / single_cost,
+        "scaling_efficiency": speedup / num_gpus,
+    }

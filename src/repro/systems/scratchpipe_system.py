@@ -1,0 +1,281 @@
+"""The pipelined ScratchPipe system: timing model + functional trainer.
+
+Timing: every batch's five stage latencies are priced exactly like the
+straw-man's, but the stages of *different* batches overlap (Figure 10), so
+the steady-state iteration time is the per-cycle maximum across the stages
+currently occupied — plus a per-cycle synchronisation overhead — instead of
+the per-batch sum.
+
+Functional: :class:`ScratchPipeTrainer` implements the [Train] stage
+callback of :class:`repro.core.pipeline.ScratchPipePipeline`, performing the
+entire embedding forward/backward against the GPU scratchpad's Storage
+array — the paper's "training at GPU memory speed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import (
+    BatchCacheStats,
+    HazardMonitor,
+    ScratchPipePipeline,
+)
+from repro.core.scratchpad import GpuScratchpad, TablePlan
+from repro.data.trace import MiniBatch
+from repro.hardware.energy import CPU, GPU, EnergySlice
+from repro.model.config import ModelConfig
+from repro.model.dlrm import DenseNetwork
+from repro.model.embedding import coalesce_gradients, duplicate_gradients
+from repro.model.optimizer import SGD
+from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
+from repro.systems.stages import CACHE_STAGES, cache_stage_times
+
+#: Pipeline offsets of the priced stages (batch b is at stage s in cycle
+#: b + offset); Load is unpriced (overlapped host-side dataset reads).
+_STAGE_OFFSETS = {"plan": 1, "collect": 2, "exchange": 3, "insert": 4, "train": 5}
+
+
+def _pipelined_cycle_times(
+    stage_times: Sequence[Dict[str, float]], sync: float
+) -> List[float]:
+    """Per-retired-batch cycle times of the 6-stage pipeline.
+
+    The cycle in which batch ``b`` trains takes as long as its slowest
+    occupied stage plus the sync overhead.  Batches that retire during
+    pipeline *drain* (the trailing cycles where upstream stages sit empty)
+    would otherwise look artificially cheap — on a long-running job every
+    retiring batch shares the pipe with five younger ones — so drain-cycle
+    batches are attributed the mean fully-occupied (steady-state) cycle.
+    """
+    num_batches = len(stage_times)
+    cycle_of_batch = [0.0] * num_batches
+    fully_occupied: List[float] = []
+    last_cycle = num_batches - 1 + _STAGE_OFFSETS["train"]
+    for cycle in range(last_cycle + 1):
+        occupied = []
+        for stage, offset in _STAGE_OFFSETS.items():
+            batch_index = cycle - offset
+            if 0 <= batch_index < num_batches:
+                occupied.append(stage_times[batch_index][stage])
+        if not occupied:
+            continue
+        cycle_time = max(occupied) + sync
+        if len(occupied) == len(_STAGE_OFFSETS):
+            fully_occupied.append(cycle_time)
+        train_index = cycle - _STAGE_OFFSETS["train"]
+        if 0 <= train_index < num_batches:
+            cycle_of_batch[train_index] = cycle_time
+    if fully_occupied:
+        steady = sum(fully_occupied) / len(fully_occupied)
+        drain_start = num_batches - (_STAGE_OFFSETS["train"] - 1)
+        for batch_index in range(max(0, drain_start), num_batches):
+            cycle_of_batch[batch_index] = steady
+    return cycle_of_batch
+
+
+def make_scratchpads(
+    config: ModelConfig,
+    num_slots: int,
+    policy_name: str = "lru",
+    with_storage: bool = False,
+    past_window: int = 3,
+) -> List[GpuScratchpad]:
+    """Build one pipelined-mode scratchpad per table."""
+    return [
+        GpuScratchpad(
+            num_slots=num_slots,
+            num_rows=config.rows_per_table,
+            dim=config.embedding_dim,
+            past_window=past_window,
+            policy_name=policy_name,
+            with_storage=with_storage,
+        )
+        for _ in range(config.num_tables)
+    ]
+
+
+class ScratchPipeSystem(TrainingSystem):
+    """Timing model of the pipelined ScratchPipe design point."""
+
+    name = "scratchpipe"
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        hardware,
+        cache_fraction: float,
+        policy_name: str = "lru",
+        future_window: int = 2,
+    ) -> None:
+        super().__init__(config, hardware)
+        if not 0.0 < cache_fraction <= 1.0:
+            raise ValueError(
+                f"cache_fraction must be in (0, 1], got {cache_fraction}"
+            )
+        self.cache_fraction = cache_fraction
+        self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
+        self.policy_name = policy_name
+        self.future_window = future_window
+
+    def simulate_cache(
+        self, dataset_batches: object, num_batches: Optional[int] = None
+    ) -> List[BatchCacheStats]:
+        """Metadata-only pipeline run returning per-batch cache statistics."""
+        pipeline = ScratchPipePipeline(
+            config=self.config,
+            scratchpads=make_scratchpads(
+                self.config, self.num_slots, policy_name=self.policy_name
+            ),
+            dataset_batches=dataset_batches,
+            future_window=self.future_window,
+        )
+        return pipeline.run(num_batches).cache_stats
+
+    def run_trace(
+        self, dataset_batches: object, num_batches: Optional[int] = None
+    ) -> SystemRunResult:
+        total = len(dataset_batches)
+        num_batches = total if num_batches is None else num_batches
+        all_stats = self.simulate_cache(dataset_batches, num_batches)
+
+        # Price each batch's stages.
+        stage_times: List[Dict[str, float]] = []
+        result = SystemRunResult(system=self.name)
+        for stats in all_stats:
+            priced = cache_stage_times(self.cost, stats, self.future_window)
+            stage_times.append({k: v.seconds for k, v in priced.items()})
+            result.breakdowns.append(
+                IterationBreakdown(stages=tuple(priced.values()))
+            )
+
+        # Pipeline timing: cycle c advances every in-flight batch one stage;
+        # the cycle takes as long as its slowest occupied stage.
+        cycle_of_batch = _pipelined_cycle_times(
+            stage_times, self.hardware.stage_sync_s
+        )
+
+        for index in range(num_batches):
+            result.iteration_times.append(cycle_of_batch[index])
+            # Both devices stay busy during a pipelined cycle (the GPU
+            # trains while the CPU collects/inserts for other batches).
+            result.energies.append(
+                self.energy_model.total_energy(
+                    [EnergySlice(seconds=cycle_of_batch[index], busy=(CPU, GPU))]
+                )
+            )
+        return result
+
+
+@dataclass
+class ScratchPipeTrainer:
+    """Functional [Train] stage: embedding + dense training on the scratchpad.
+
+    Every gather and parameter update is served from Storage through the
+    slots the Plan stage assigned — if any ID were missing the mapping would
+    raise, so a completed run *is* the always-hit guarantee.
+    """
+
+    config: ModelConfig
+    dense_network: DenseNetwork
+    optimizer: SGD = field(default_factory=SGD)
+    losses: List[float] = field(default_factory=list)
+
+    def train(
+        self,
+        batch: MiniBatch,
+        plans: Sequence[TablePlan],
+        scratchpads: Sequence[GpuScratchpad],
+    ) -> float:
+        """Run one full training iteration against the scratchpads."""
+        if batch.dense is None or batch.labels is None:
+            raise ValueError("functional training requires dense inputs/labels")
+        cfg = self.config
+        slot_maps = []
+        pooled_columns = []
+        for t in range(cfg.num_tables):
+            slots = plans[t].slots_for(batch.sparse_ids[t])
+            slot_maps.append(slots)
+            rows = scratchpads[t].read_slots(slots)
+            pooled_columns.append(rows.sum(axis=1))
+        pooled = np.stack(pooled_columns, axis=1)
+
+        self.dense_network.forward(batch.dense, pooled)
+        loss = self.dense_network.loss(batch.labels)
+        grad_pooled = self.dense_network.backward(batch.labels)
+
+        for t in range(cfg.num_tables):
+            ids = batch.sparse_ids[t]
+            duplicated = duplicate_gradients(grad_pooled[:, t, :], ids.shape[1])
+            unique_ids, grads = coalesce_gradients(
+                ids.reshape(-1), duplicated.reshape(-1, cfg.embedding_dim)
+            )
+            # coalesce returns sorted unique IDs == the plan's unique_ids.
+            slots = plans[t].slots
+            updated = scratchpads[t].read_slots(slots) - self.optimizer.lr * grads
+            scratchpads[t].write_slots(slots, updated)
+        self.dense_network.step(self.optimizer)
+        self.losses.append(loss)
+        return loss
+
+
+@dataclass
+class ScratchPipeTrainingRun:
+    """Convenience wrapper: functional end-to-end ScratchPipe training.
+
+    Builds storage-backed scratchpads over the given CPU master tables,
+    wires in a :class:`ScratchPipeTrainer` and runs the full pipeline.
+    After :meth:`run`, :meth:`final_tables` returns the authoritative
+    weights (CPU master with the still-cached scratchpad rows merged back),
+    which equivalence tests compare against sequential baseline training.
+    """
+
+    config: ModelConfig
+    cpu_tables: List[np.ndarray]
+    dense_network: DenseNetwork
+    num_slots: int
+    optimizer: SGD = field(default_factory=SGD)
+    policy_name: str = "lru"
+    future_window: int = 2
+    monitor: Optional[HazardMonitor] = None
+    scratchpads: List[GpuScratchpad] = field(init=False)
+    trainer: ScratchPipeTrainer = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.scratchpads = make_scratchpads(
+            self.config,
+            self.num_slots,
+            policy_name=self.policy_name,
+            with_storage=True,
+        )
+        self.trainer = ScratchPipeTrainer(
+            config=self.config,
+            dense_network=self.dense_network,
+            optimizer=self.optimizer,
+        )
+
+    def run(self, dataset_batches: object, num_batches: Optional[int] = None):
+        """Run the functional pipeline; returns its :class:`PipelineResult`."""
+        pipeline = ScratchPipePipeline(
+            config=self.config,
+            scratchpads=self.scratchpads,
+            dataset_batches=dataset_batches,
+            cpu_tables=self.cpu_tables,
+            trainer=self.trainer,
+            future_window=self.future_window,
+            monitor=self.monitor,
+        )
+        return pipeline.run(num_batches)
+
+    def final_tables(self) -> List[np.ndarray]:
+        """CPU master tables with cached dirty rows merged back in."""
+        merged = [t.copy() for t in self.cpu_tables]
+        for t, scratchpad in enumerate(self.scratchpads):
+            keys = scratchpad.hit_map.keys()
+            if keys.size:
+                slots = scratchpad.hit_map.slots_of_keys(keys)
+                merged[t][keys] = scratchpad.storage[slots]
+        return merged

@@ -1,0 +1,61 @@
+"""Timing model of the straw-man dynamic cache (no pipelining, Figure 8).
+
+The straw-man runs the same Plan/Collect/Exchange/Insert/Train stages as
+ScratchPipe but sequentially, so its iteration latency is the *sum* of the
+stage latencies — the cache-management steps sit on the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scratchpad import GpuScratchpad
+from repro.core.strawman import StrawmanCache, make_strawman_scratchpads
+from repro.model.config import ModelConfig
+from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
+from repro.systems.stages import cache_stage_times
+
+
+class StrawmanSystem(TrainingSystem):
+    """Sequential dynamic-cache design point (Section IV-B)."""
+
+    name = "strawman"
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        hardware,
+        cache_fraction: float,
+        policy_name: str = "lru",
+    ) -> None:
+        super().__init__(config, hardware)
+        if not 0.0 < cache_fraction <= 1.0:
+            raise ValueError(
+                f"cache_fraction must be in (0, 1], got {cache_fraction}"
+            )
+        self.cache_fraction = cache_fraction
+        self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
+        self.policy_name = policy_name
+
+    def _make_cache(self) -> StrawmanCache:
+        scratchpads = make_strawman_scratchpads(
+            self.config, self.num_slots, policy_name=self.policy_name
+        )
+        return StrawmanCache(config=self.config, scratchpads=scratchpads)
+
+    def run_trace(
+        self, dataset_batches: object, num_batches: Optional[int] = None
+    ) -> SystemRunResult:
+        total = len(dataset_batches)
+        num_batches = total if num_batches is None else num_batches
+        cache = self._make_cache()
+        result = SystemRunResult(system=self.name)
+        for index in range(num_batches):
+            stats = cache.run_batch(dataset_batches.batch(index))
+            # Sequential execution needs no future window.
+            stage_times = cache_stage_times(self.cost, stats, future_window=0)
+            breakdown = IterationBreakdown(stages=tuple(stage_times.values()))
+            result.breakdowns.append(breakdown)
+            result.iteration_times.append(breakdown.total)
+            result.energies.append(breakdown.sequential_energy(self.energy_model))
+        return result

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig6", "fig12b", "fig13", "fig14", "table1",
+                        "overhead", "compare"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.func)
+
+    def test_fraction_arguments(self):
+        args = build_parser().parse_args(
+            ["fig13", "--fractions", "0.02", "0.1"]
+        )
+        assert args.fractions == [0.02, 0.1]
+
+    def test_batches_argument(self):
+        args = build_parser().parse_args(["--batches", "10", "overhead"])
+        assert args.batches == 10
+
+
+class TestCommands:
+    def test_overhead_output(self, capsys):
+        main(["overhead"])
+        out = capsys.readouterr().out
+        assert "Section VI-D" in out
+        assert "storage_worst_case_bytes" in out
+
+    def test_fig6_output(self, capsys):
+        main(["fig6", "--points", "10"])
+        out = capsys.readouterr().out
+        assert "Criteo" in out
+        assert "Alibaba" in out
+
+    def test_compare_rejects_unknown_locality(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--locality", "extreme"])
+
+
+class TestNewCommands:
+    def test_validate_in_parser(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.command == "validate"
+
+    def test_timeline_in_parser(self):
+        args = build_parser().parse_args(
+            ["timeline", "--locality", "high", "--cache", "0.05"]
+        )
+        assert args.locality == "high"
+        assert args.cache == 0.05
+
+    def test_validate_output(self, capsys):
+        main(["validate"])
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+
+    def test_timeline_rejects_unknown_locality(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "--locality", "nope"])

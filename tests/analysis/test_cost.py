@@ -1,0 +1,57 @@
+"""Tests for the AWS cost model (repro.analysis.cost)."""
+
+import pytest
+
+from repro.analysis.cost import (
+    CostRow,
+    cost_saving,
+    multi_gpu_row,
+    scratchpipe_row,
+    training_cost,
+)
+from repro.hardware.spec import P3_2XLARGE, P3_16XLARGE
+
+
+class TestTrainingCost:
+    def test_paper_scratchpipe_random_row(self):
+        # Table I: ScratchPipe Random — 47.82 ms/iter => $40.64 for 1M iters
+        # on a $3.06/hr p3.2xlarge.
+        cost = training_cost(P3_2XLARGE, 47.82e-3)
+        assert cost == pytest.approx(40.64, abs=0.05)
+
+    def test_paper_8gpu_random_row(self):
+        # Table I: 8 GPU Random — 16.22 ms/iter => $110.3 on p3.16xlarge.
+        cost = training_cost(P3_16XLARGE, 16.22e-3)
+        assert cost == pytest.approx(110.3, abs=0.2)
+
+    def test_linear_in_time(self):
+        assert training_cost(P3_2XLARGE, 0.040) == pytest.approx(
+            2 * training_cost(P3_2XLARGE, 0.020)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            training_cost(P3_2XLARGE, 0.0)
+        with pytest.raises(ValueError):
+            training_cost(P3_2XLARGE, 0.01, iterations=0)
+
+
+class TestCostRow:
+    def test_formatted_cells(self):
+        row = scratchpipe_row("Random", 47.82e-3)
+        cells = row.formatted()
+        assert cells[0] == "Random"
+        assert cells[1] == "ScratchPipe"
+        assert cells[2] == "p3.2xlarge"
+        assert "47.82 ms" in cells[4]
+
+    def test_cost_saving_paper_magnitude(self):
+        # Table I High row: $22.39 vs $126.6 => 5.7x (the paper's max).
+        sp = scratchpipe_row("High", 26.34e-3)
+        mg = multi_gpu_row("High", 18.61e-3)
+        assert cost_saving(sp, mg) == pytest.approx(5.65, abs=0.1)
+
+    def test_multi_gpu_row_instance(self):
+        row = multi_gpu_row("Low", 16.12e-3)
+        assert row.instance is P3_16XLARGE
+        assert row.system == "8 GPU"

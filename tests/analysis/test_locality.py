@@ -1,0 +1,85 @@
+"""Tests for locality analysis (repro.analysis.locality)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import (
+    access_count_curve,
+    dataset_hit_rate_curves,
+    empirical_access_counts,
+    empirical_hit_rate,
+    static_hit_rate_curve,
+)
+from repro.data.datasets import ALIBABA, CRITEO
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+from repro.data.trace import make_dataset
+from repro.model.config import tiny_config
+
+
+class TestAccessCountCurve:
+    def test_descending_for_power_law(self):
+        dist = ZipfDistribution(num_rows=10_000, exponent=0.8)
+        curve = access_count_curve(dist, total_accesses=10**6, n_points=100)
+        assert np.all(np.diff(curve) <= 0)
+        assert curve[0] > curve[-1] * 10
+
+    def test_flat_for_uniform(self):
+        dist = UniformDistribution(num_rows=10_000)
+        curve = access_count_curve(dist, total_accesses=10**6, n_points=100)
+        assert np.allclose(curve, curve[0])
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            access_count_curve(UniformDistribution(10), total_accesses=0)
+
+
+class TestHitRateCurves:
+    def test_monotone_nondecreasing(self):
+        fractions = np.linspace(0.01, 1.0, 20)
+        curves = dataset_hit_rate_curves(fractions, num_rows=10**6)
+        assert set(curves) == {"Alibaba", "Kaggle Anime", "MovieLens", "Criteo"}
+        for curve in curves.values():
+            assert np.all(np.diff(curve) >= -1e-12)
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_figure6_ordering(self):
+        # At small cache sizes Criteo >> MovieLens/Anime >> Alibaba.
+        fractions = [0.02]
+        curves = dataset_hit_rate_curves(fractions, num_rows=10**7)
+        assert curves["Criteo"][0] > curves["Kaggle Anime"][0]
+        assert curves["Kaggle Anime"][0] > curves["MovieLens"][0]
+        assert curves["MovieLens"][0] > curves["Alibaba"][0]
+
+    def test_static_curve_matches_distribution(self):
+        dist = CRITEO.distribution(10**6)
+        curve = static_hit_rate_curve(dist, [0.02, 0.5])
+        assert curve[0] == pytest.approx(dist.hit_rate(0.02))
+
+
+class TestEmpirical:
+    @pytest.fixture
+    def cfg(self):
+        return tiny_config(rows_per_table=5000, batch_size=64,
+                           lookups_per_table=4, num_tables=1)
+
+    def test_empirical_matches_analytic(self, cfg):
+        dataset = make_dataset(cfg, "high", seed=1, num_batches=8)
+        measured = empirical_hit_rate(dataset, 0.02, num_batches=8)
+        expected = CRITEO.distribution(cfg.rows_per_table).hit_rate(0.02)
+        assert measured == pytest.approx(expected, abs=0.08)
+
+    def test_empirical_random_trace(self, cfg):
+        dataset = make_dataset(cfg, "random", seed=1, num_batches=8)
+        measured = empirical_hit_rate(dataset, 0.10, num_batches=8)
+        assert measured == pytest.approx(0.10, abs=0.05)
+
+    def test_fraction_validated(self, cfg):
+        dataset = make_dataset(cfg, "random", seed=1, num_batches=2)
+        with pytest.raises(ValueError):
+            empirical_hit_rate(dataset, 1.5)
+
+    def test_empirical_access_counts_sorted(self, cfg):
+        dataset = make_dataset(cfg, "high", seed=1, num_batches=4)
+        counts = empirical_access_counts(dataset, num_batches=4)
+        assert np.all(np.diff(counts) <= 0)
+        assert counts.sum() == 4 * cfg.batch_size * cfg.lookups_per_table

@@ -1,0 +1,46 @@
+"""Tests for report formatting (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import banner, format_breakdown, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["x", "1"], ["yy", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("hit", [2, 4], [0.5, 0.75], y_format="{:.2f}")
+        assert out == "hit: 2=0.50, 4=0.75"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1.0, 2.0])
+
+
+class TestFormatBreakdown:
+    def test_includes_total(self):
+        out = format_breakdown("hybrid", {"fwd": 0.010, "bwd": 0.020})
+        assert "fwd=10.00ms" in out
+        assert "total=30.00ms" in out
+
+
+class TestBanner:
+    def test_contains_title(self):
+        out = banner("Figure 13")
+        assert "Figure 13" in out
+        assert "=" in out

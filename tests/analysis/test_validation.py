@@ -1,0 +1,74 @@
+"""Tests for analytic-vs-simulated cross-validation (repro.analysis.validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationReport,
+    run_validation_suite,
+    validate_capacity_bound,
+    validate_random_dynamic_hit_rate,
+    validate_static_hit_rate,
+)
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ModelConfig(
+        num_tables=2,
+        rows_per_table=400_000,
+        embedding_dim=32,
+        lookups_per_table=4,
+        batch_size=256,
+        bottom_mlp=(64, 32),
+        top_mlp=(64, 1),
+    )
+
+
+class TestValidationReport:
+    def test_error_and_within(self):
+        report = ValidationReport("x", predicted=0.5, measured=0.47)
+        assert report.absolute_error == pytest.approx(0.03)
+        assert report.within(0.05)
+        assert not report.within(0.01)
+
+
+class TestStaticHitRate:
+    @pytest.mark.parametrize("locality", ["high", "medium", "low"])
+    def test_analytic_matches_sampled(self, cfg, locality):
+        report = validate_static_hit_rate(cfg, locality, 0.02)
+        assert report.within(0.05), (locality, report)
+
+    def test_random_trace(self, cfg):
+        report = validate_static_hit_rate(cfg, "random", 0.10)
+        assert report.within(0.03)
+
+
+class TestDynamicHitRate:
+    def test_random_trace_capacity_limited(self, cfg):
+        report = validate_random_dynamic_hit_rate(
+            cfg, 0.10, DEFAULT_HARDWARE
+        )
+        # The dynamic cache cannot exceed capacity on uniform traffic and
+        # should approach it once warm.
+        assert report.measured <= report.predicted + 0.03
+        assert report.measured >= report.predicted - 0.06
+
+
+class TestCapacityBound:
+    @pytest.mark.parametrize("locality", ["random", "high"])
+    def test_bound_dominates_live_set(self, cfg, locality):
+        report = validate_capacity_bound(cfg, locality)
+        assert report.measured <= report.predicted
+
+
+class TestSuite:
+    def test_all_reports_pass_tolerance(self, cfg):
+        reports = run_validation_suite(cfg, DEFAULT_HARDWARE)
+        assert len(reports) == 4
+        for name, report in reports.items():
+            if "hit rate" in name:
+                assert report.within(0.08), (name, report)

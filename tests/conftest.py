@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite: laptop-scale configs and traces."""
+
+import numpy as np
+import pytest
+
+from repro.data.trace import SyntheticDataset, make_dataset
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import ModelConfig, tiny_config
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_cfg() -> ModelConfig:
+    """Structurally complete, laptop-scale model config."""
+    return tiny_config()
+
+
+@pytest.fixture
+def small_cfg() -> ModelConfig:
+    """Slightly larger functional config exercising duplicates and misses."""
+    return tiny_config(
+        rows_per_table=400, batch_size=8, lookups_per_table=3, num_tables=2
+    )
+
+
+@pytest.fixture
+def hardware():
+    """Default (paper) hardware spec."""
+    return DEFAULT_HARDWARE
+
+
+@pytest.fixture
+def small_dataset(small_cfg) -> SyntheticDataset:
+    """Medium-locality functional dataset with dense features and labels."""
+    return make_dataset(small_cfg, "medium", seed=7, num_batches=24, with_dense=True)
+
+
+@pytest.fixture
+def id_only_dataset(small_cfg) -> SyntheticDataset:
+    """Medium-locality ID-only dataset for cache-behaviour tests."""
+    return make_dataset(small_cfg, "medium", seed=7, num_batches=24)

@@ -1,0 +1,103 @@
+"""Tests for the Hold mask (repro.core.holdmask)."""
+
+import numpy as np
+import pytest
+
+from repro.core.holdmask import HoldMask
+
+
+class TestConstruction:
+    def test_starts_all_eligible(self):
+        mask = HoldMask(num_slots=8)
+        assert mask.eligible_mask().all()
+        assert mask.held_count() == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            HoldMask(num_slots=0)
+        with pytest.raises(ValueError):
+            HoldMask(num_slots=4, past_window=63)
+        with pytest.raises(ValueError):
+            HoldMask(num_slots=4, past_window=-1)
+
+    def test_fresh_bit_value(self):
+        assert HoldMask(num_slots=2, past_window=3).fresh_bit == 8
+        assert HoldMask(num_slots=2, past_window=0).fresh_bit == 1
+
+
+class TestHoldLifetime:
+    def test_hold_visible_immediately(self):
+        mask = HoldMask(num_slots=4, past_window=3)
+        mask.hold(np.array([1, 2]))
+        assert mask.is_held(np.array([1, 2])).all()
+        assert not mask.is_held(np.array([0, 3])).any()
+
+    def test_bit_survives_exactly_past_window_advances(self):
+        # The paper's semantics: a hold set at batch j's Plan must remain
+        # visible during the Plans of batches j+1..j+W (RAW-2 spans the
+        # [Collect]-to-[Train] distance of 3).
+        window = 3
+        mask = HoldMask(num_slots=2, past_window=window)
+        mask.hold(np.array([0]))
+        for _ in range(window):
+            mask.advance()
+            assert mask.is_held(np.array([0]))[0]
+        mask.advance()
+        assert not mask.is_held(np.array([0]))[0]
+
+    def test_zero_window_expires_on_first_advance(self):
+        mask = HoldMask(num_slots=2, past_window=0)
+        mask.hold(np.array([0]))
+        assert mask.is_held(np.array([0]))[0]
+        mask.advance()
+        assert not mask.is_held(np.array([0]))[0]
+
+    def test_rehold_refreshes_lifetime(self):
+        mask = HoldMask(num_slots=1, past_window=2)
+        mask.hold(np.array([0]))
+        mask.advance()
+        mask.hold(np.array([0]))  # re-held one batch later
+        mask.advance()
+        mask.advance()
+        assert mask.is_held(np.array([0]))[0]
+        mask.advance()
+        assert not mask.is_held(np.array([0]))[0]
+
+
+class TestMasks:
+    def test_eligible_is_complement_of_held(self):
+        mask = HoldMask(num_slots=6, past_window=2)
+        mask.hold(np.array([0, 5]))
+        assert np.array_equal(mask.eligible_mask(), ~mask.held_mask())
+        assert mask.held_count() == 2
+
+    def test_empty_hold_noop(self):
+        mask = HoldMask(num_slots=4)
+        mask.hold(np.empty(0, dtype=np.int64))
+        assert mask.held_count() == 0
+
+    def test_out_of_range_slot_rejected(self):
+        mask = HoldMask(num_slots=4)
+        with pytest.raises(ValueError):
+            mask.hold(np.array([4]))
+        with pytest.raises(ValueError):
+            mask.hold(np.array([-1]))
+
+    def test_raw_bits_is_copy(self):
+        mask = HoldMask(num_slots=4)
+        bits = mask.raw_bits()
+        bits[0] = 255
+        assert mask.held_count() == 0
+
+    def test_overlapping_windows_accumulate(self):
+        # Two batches holding the same slot: the mask stays non-zero until
+        # the *latest* hold expires.
+        mask = HoldMask(num_slots=1, past_window=3)
+        mask.hold(np.array([0]))       # batch j
+        mask.advance()
+        mask.hold(np.array([0]))       # batch j+1
+        for _ in range(3):
+            mask.advance()
+            assert mask.is_held(np.array([0]))[0]
+        mask.advance()
+        assert not mask.is_held(np.array([0]))[0]

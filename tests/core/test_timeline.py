@@ -1,0 +1,91 @@
+"""Tests for the pipeline timeline (repro.core.timeline)."""
+
+import pytest
+
+from repro.core.pipeline import STAGES
+from repro.core.timeline import (
+    PipelineTimeline,
+    render_ascii,
+    schedule,
+)
+
+
+class TestSchedule:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            schedule(0)
+
+    def test_length(self):
+        cycles = schedule(4)
+        assert len(cycles) == 4 + len(STAGES) - 1
+
+    def test_staircase(self):
+        cycles = schedule(8)
+        # Batch 0 walks one stage per cycle.
+        for offset, stage in enumerate(STAGES):
+            assert cycles[offset].batches[stage] == 0
+        # Steady state: from cycle 5 on, all six stages are occupied.
+        assert len(cycles[5].batches) == len(STAGES)
+
+    def test_one_batch_retires_per_cycle(self):
+        cycles = schedule(8)
+        train_cycles = [c.cycle for c in cycles if "train" in c.batches]
+        assert train_cycles == list(range(5, 13))
+
+    def test_fill_and_drain(self):
+        cycles = schedule(8)
+        assert len(cycles[0].batches) == 1  # only Load busy
+        assert len(cycles[-1].batches) == 1  # only Train busy
+
+
+class TestPipelineTimeline:
+    @pytest.fixture
+    def timeline(self):
+        stage_seconds = [
+            {"plan": 0.001, "collect": 0.010, "exchange": 0.003,
+             "insert": 0.004, "train": 0.006}
+            for _ in range(10)
+        ]
+        return PipelineTimeline(stage_seconds=stage_seconds, sync_seconds=0.001)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PipelineTimeline(stage_seconds=[])
+
+    def test_steady_state_cycle_is_bottleneck_plus_sync(self, timeline):
+        assert timeline.steady_state_cycle_seconds() == pytest.approx(0.011)
+
+    def test_total_exceeds_steady_portion(self, timeline):
+        steady = timeline.steady_state_cycle_seconds() * 10
+        assert timeline.total_seconds() > steady * 0.9
+
+    def test_bottleneck_identified(self, timeline):
+        assert timeline.bottleneck_stage() == "collect"
+
+    def test_utilisation_bounded(self, timeline):
+        utilisation = timeline.stage_utilisation()
+        for stage, value in utilisation.items():
+            assert 0.0 <= value <= 1.0, stage
+        # The bottleneck dominates the others.
+        assert utilisation["collect"] > utilisation["plan"]
+
+    def test_short_trace_no_steady_state(self):
+        timeline = PipelineTimeline(
+            stage_seconds=[{"train": 0.002}], sync_seconds=0.0
+        )
+        assert timeline.steady_state_cycle_seconds() > 0
+
+    def test_missing_stages_cost_zero(self):
+        timeline = PipelineTimeline(stage_seconds=[{}, {}], sync_seconds=0.0)
+        assert timeline.total_seconds() == 0.0
+
+
+class TestRenderAscii:
+    def test_contains_batches(self):
+        out = render_ascii(schedule(3))
+        assert "B0" in out and "B2" in out
+        assert out.splitlines()[0].startswith("cycle")
+
+    def test_truncation(self):
+        out = render_ascii(schedule(30), max_cycles=5)
+        assert "more cycles" in out

@@ -1,0 +1,96 @@
+"""Tests for dataset profiles (repro.data.datasets)."""
+
+import pytest
+
+from repro.data.datasets import (
+    ALIBABA,
+    CRITEO,
+    DATASET_PROFILES,
+    LOCALITY_CLASSES,
+    dataset_by_name,
+    locality_distribution,
+)
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+
+
+class TestDatasetProfiles:
+    def test_four_profiles(self):
+        assert len(DATASET_PROFILES) == 4
+
+    def test_paper_anchor_points(self):
+        criteo = CRITEO.distribution(10**7)
+        alibaba = ALIBABA.distribution(10**7)
+        # Section III-A quotes: Criteo 2% -> >80%, Alibaba 2% -> 8.5%.
+        assert criteo.hit_rate(0.02) > 0.80
+        assert alibaba.hit_rate(0.02) == pytest.approx(0.085, abs=0.005)
+
+    def test_alibaba_needs_most_cache_for_90pct(self):
+        # Figure 6(a): low-locality Alibaba needs the majority of the table
+        # cached to exceed 90% hit rate.
+        alibaba = ALIBABA.distribution(10**7)
+        assert alibaba.hit_rate(0.65) < 0.90 or alibaba.hit_rate(0.5) < 0.90
+
+    def test_lookup_by_name(self):
+        assert dataset_by_name("criteo") is CRITEO
+        assert dataset_by_name("Alibaba") is ALIBABA
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            dataset_by_name("netflix")
+
+
+class TestLocalityDistribution:
+    def test_random_is_uniform(self):
+        dist = locality_distribution("random", 1000)
+        assert isinstance(dist, UniformDistribution)
+
+    @pytest.mark.parametrize("locality", ["low", "medium", "high"])
+    def test_power_law_classes(self, locality):
+        dist = locality_distribution(locality, 1000)
+        assert isinstance(dist, ZipfDistribution)
+
+    def test_locality_ordering(self):
+        # The four benchmark classes must be strictly ordered by the hit
+        # rate a 2% cache achieves (this ordering drives Figures 12-14).
+        rates = [
+            locality_distribution(c, 10**7).hit_rate(0.02)
+            for c in LOCALITY_CLASSES
+        ]
+        assert rates == sorted(rates)
+        assert rates[0] == pytest.approx(0.02)  # random
+        assert rates[-1] > 0.80  # high (Criteo-like)
+
+    def test_unknown_locality_rejected(self):
+        with pytest.raises(ValueError, match="unknown locality"):
+            locality_distribution("extreme", 1000)
+
+
+class TestCriteoPerTableProfile:
+    """Figure 6(d): individual Criteo tables have very different locality."""
+
+    def test_profiled_tables_available(self):
+        from repro.data.datasets import (
+            CRITEO_TABLE_EXPONENTS,
+            criteo_table_distributions,
+        )
+
+        dists = criteo_table_distributions(10**6)
+        assert set(dists) == set(CRITEO_TABLE_EXPONENTS)
+
+    def test_knees_spread(self):
+        from repro.data.datasets import criteo_table_distributions
+
+        dists = criteo_table_distributions(10**6)
+        rates = {t: d.hit_rate(0.02) for t, d in dists.items()}
+        # Table 0 is far hotter than table 21 (Figure 6(d)'s spread).
+        assert rates[0] > 0.85
+        assert rates[21] < 0.25
+        # Monotone in the profiled exponent order.
+        ordered = [rates[t] for t in sorted(rates)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_unknown_table_rejected(self):
+        from repro.data.datasets import criteo_table_distributions
+
+        with pytest.raises(ValueError, match="no profiled exponent"):
+            criteo_table_distributions(100, tables=(5,))

@@ -1,0 +1,137 @@
+"""Tests for access distributions (repro.data.distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import (
+    UniformDistribution,
+    ZipfDistribution,
+    fit_zipf_exponent,
+    permuted,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestUniformDistribution:
+    def test_samples_in_range(self, rng):
+        dist = UniformDistribution(num_rows=100)
+        ids = dist.sample(10_000, rng)
+        assert ids.min() >= 0 and ids.max() < 100
+
+    def test_hit_rate_equals_cache_fraction(self):
+        dist = UniformDistribution(num_rows=1000)
+        assert dist.hit_rate(0.3) == pytest.approx(0.3)
+        assert dist.hit_rate(0.0) == 0.0
+        assert dist.hit_rate(1.0) == 1.0
+
+    def test_pdf_is_flat(self):
+        dist = UniformDistribution(num_rows=1000)
+        pdf = dist.sorted_pdf(10)
+        assert np.allclose(pdf, 1 / 1000)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(num_rows=0)
+
+    def test_roughly_uniform_coverage(self, rng):
+        dist = UniformDistribution(num_rows=10)
+        ids = dist.sample(100_000, rng)
+        counts = np.bincount(ids, minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+
+
+class TestZipfDistribution:
+    def test_exponent_bounds(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(num_rows=10, exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(num_rows=10, exponent=1.0)
+
+    def test_samples_in_range(self, rng):
+        dist = ZipfDistribution(num_rows=1000, exponent=0.7)
+        ids = dist.sample(50_000, rng)
+        assert ids.min() >= 0 and ids.max() < 1000
+
+    def test_low_ranks_hotter(self, rng):
+        dist = ZipfDistribution(num_rows=1000, exponent=0.8)
+        ids = dist.sample(200_000, rng)
+        counts = np.bincount(ids, minlength=1000)
+        # The hottest decile must receive far more traffic than the coldest.
+        assert counts[:100].sum() > 5 * counts[-100:].sum()
+
+    def test_hit_rate_closed_form(self):
+        dist = ZipfDistribution(num_rows=10**6, exponent=0.5)
+        assert dist.hit_rate(0.04) == pytest.approx(0.2)
+
+    def test_hit_rate_monotone(self):
+        dist = ZipfDistribution(num_rows=10**6, exponent=0.7)
+        fractions = np.linspace(0.01, 1.0, 50)
+        rates = [dist.hit_rate(f) for f in fractions]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_empirical_hit_rate_matches_analytic(self, rng):
+        dist = ZipfDistribution(num_rows=100_000, exponent=0.8)
+        ids = dist.sample(200_000, rng)
+        hot = int(0.02 * dist.num_rows)
+        empirical = (ids < hot).mean()
+        assert empirical == pytest.approx(dist.hit_rate(0.02), abs=0.03)
+
+    def test_pdf_descending(self):
+        dist = ZipfDistribution(num_rows=10_000, exponent=0.6)
+        pdf = dist.sorted_pdf(100)
+        assert np.all(np.diff(pdf) <= 0)
+
+    def test_pdf_mass_bounded(self):
+        dist = ZipfDistribution(num_rows=10_000, exponent=0.6)
+        pdf = dist.sorted_pdf(10_000)
+        assert pdf.sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_higher_exponent_more_locality(self):
+        low = ZipfDistribution(num_rows=10**6, exponent=0.37)
+        high = ZipfDistribution(num_rows=10**6, exponent=0.95)
+        assert high.hit_rate(0.02) > low.hit_rate(0.02)
+
+
+class TestFitZipfExponent:
+    def test_criteo_anchor(self):
+        # Criteo: 2% of rows -> >80% of accesses (Section III-A).
+        s = fit_zipf_exponent(0.02, 0.82)
+        assert 0.9 < s < 1.0
+        dist = ZipfDistribution(num_rows=10**6, exponent=s)
+        assert dist.hit_rate(0.02) == pytest.approx(0.82, abs=1e-9)
+
+    def test_alibaba_anchor(self):
+        # Alibaba: 2% of rows -> 8.5% of accesses.
+        s = fit_zipf_exponent(0.02, 0.085)
+        assert 0.3 < s < 0.45
+
+    def test_invalid_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(0.0, 0.5)
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(0.5, 1.0)
+        with pytest.raises(ValueError):
+            # hit_rate < cache_fraction implies exponent < 0.
+            fit_zipf_exponent(0.5, 0.1)
+
+
+class TestPermuted:
+    def test_preserves_multiset_size(self, rng):
+        ids = np.array([0, 1, 1, 5], dtype=np.int64)
+        out = permuted(ids, 10, rng)
+        assert out.shape == ids.shape
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_is_bijective_on_ids(self, rng):
+        ids = np.arange(10, dtype=np.int64)
+        out = permuted(ids, 10, rng)
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_equal_ids_stay_equal(self, rng):
+        ids = np.array([3, 3, 3], dtype=np.int64)
+        out = permuted(ids, 10, rng)
+        assert len(set(out.tolist())) == 1

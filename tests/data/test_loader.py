@@ -1,0 +1,89 @@
+"""Tests for the lookahead loader (repro.data.loader)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import LookaheadLoader
+from repro.data.trace import make_dataset
+from repro.model.config import tiny_config
+
+
+@pytest.fixture
+def dataset():
+    cfg = tiny_config(rows_per_table=100, batch_size=4, lookups_per_table=2,
+                      num_tables=2)
+    return make_dataset(cfg, "medium", seed=11, num_batches=6)
+
+
+class TestSequentialConsumption:
+    def test_next_batch_order(self, dataset):
+        loader = LookaheadLoader(dataset)
+        assert [loader.next_batch().index for _ in range(6)] == list(range(6))
+
+    def test_exhaustion_raises(self, dataset):
+        loader = LookaheadLoader(dataset)
+        for _ in range(6):
+            loader.next_batch()
+        with pytest.raises(StopIteration):
+            loader.next_batch()
+
+    def test_iter_protocol(self, dataset):
+        loader = LookaheadLoader(dataset)
+        assert [b.index for b in loader] == list(range(6))
+
+    def test_cursor_tracks_consumption(self, dataset):
+        loader = LookaheadLoader(dataset)
+        assert loader.cursor == 0
+        loader.next_batch()
+        assert loader.cursor == 1
+
+
+class TestLookahead:
+    def test_future_batch_matches_dataset(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=3)
+        loader.next_batch()  # cursor -> 1
+        peeked = loader.future_batch(2)
+        assert peeked.index == 3
+        assert np.array_equal(peeked.sparse_ids, dataset.batch(3).sparse_ids)
+
+    def test_peek_does_not_consume(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=2)
+        loader.future_batch(1)
+        assert loader.next_batch().index == 0
+
+    def test_bound_enforced(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=2)
+        with pytest.raises(ValueError, match="exceeds declared lookahead"):
+            loader.future_batch(3)
+
+    def test_negative_offset_rejected(self, dataset):
+        loader = LookaheadLoader(dataset)
+        with pytest.raises(ValueError):
+            loader.future_batch(-1)
+
+    def test_past_end_returns_none(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=8)
+        for _ in range(5):
+            loader.next_batch()
+        assert loader.future_batch(0).index == 5
+        assert loader.future_batch(1) is None
+
+    def test_window_ids_union(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=4)
+        expected = np.unique(
+            np.concatenate(
+                [dataset.batch(0).table_ids(0), dataset.batch(1).table_ids(0)]
+            )
+        )
+        got = loader.window_ids(0, [0, 1])
+        assert np.array_equal(got, expected)
+
+    def test_window_ids_past_end_empty(self, dataset):
+        loader = LookaheadLoader(dataset, lookahead=10)
+        for _ in range(6):
+            loader.next_batch()
+        assert loader.window_ids(0, [0, 1]).size == 0
+
+    def test_invalid_lookahead_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            LookaheadLoader(dataset, lookahead=-1)

@@ -1,0 +1,124 @@
+"""Tests for trace statistics (repro.data.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import locality_distribution
+from repro.data.stats import (
+    lru_hit_rate_curve,
+    reuse_distances,
+    trace_stats,
+    working_set_curve,
+)
+
+
+class TestTraceStats:
+    def test_simple_counts(self):
+        stats = trace_stats(np.array([1, 1, 2, 3]))
+        assert stats.total_lookups == 4
+        assert stats.unique_rows == 3
+        assert stats.single_use_fraction == pytest.approx(2 / 3)
+        assert stats.mean_duplication == pytest.approx(4 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats(np.array([]))
+
+    def test_skew_increases_head_share(self):
+        rng = np.random.default_rng(0)
+        hot = locality_distribution("high", 100_000).sample(50_000, rng)
+        cold = locality_distribution("random", 100_000).sample(50_000, rng)
+        assert trace_stats(hot).top_1pct_share > trace_stats(cold).top_1pct_share
+
+    def test_skewed_traces_have_large_single_use_tail(self):
+        # Explains the ablation: even high-locality traces touch mostly
+        # single-use rows, which no cache policy can hit.
+        rng = np.random.default_rng(1)
+        ids = locality_distribution("high", 1_000_000).sample(20_000, rng)
+        assert trace_stats(ids).single_use_fraction > 0.5
+
+
+class TestReuseDistances:
+    def test_cold_misses_are_negative(self):
+        distances = reuse_distances(np.array([5, 6, 7]))
+        assert (distances == -1).all()
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = reuse_distances(np.array([5, 5]))
+        assert distances[1] == 0
+
+    def test_textbook_example(self):
+        # Stream a b c a: the second "a" has seen {b, c} since -> distance 2.
+        distances = reuse_distances(np.array([1, 2, 3, 1]))
+        assert distances.tolist() == [-1, -1, -1, 2]
+
+    def test_distance_counts_distinct_not_total(self):
+        # a b b b a: distinct rows between the two a's is just {b}.
+        distances = reuse_distances(np.array([1, 2, 2, 2, 1]))
+        assert distances[-1] == 1
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 12, size=200)
+        fast = reuse_distances(ids)
+        last_seen = {}
+        for position, row in enumerate(ids):
+            if row in last_seen:
+                seen = set(ids[last_seen[row] + 1: position].tolist())
+                assert fast[position] == len(seen), position
+            else:
+                assert fast[position] == -1
+            last_seen[row] = position
+
+
+class TestLruCurve:
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(5)
+        ids = locality_distribution("medium", 10_000).sample(5_000, rng)
+        curve = lru_hit_rate_curve(ids, [10, 100, 1000, 10_000])
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_infinite_capacity_equals_reuse_fraction(self):
+        ids = np.array([1, 2, 1, 2, 3])
+        curve = lru_hit_rate_curve(ids, [100])
+        assert curve[0] == pytest.approx(2 / 5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            lru_hit_rate_curve(np.array([1, 2]), [0])
+
+    def test_stack_property(self):
+        # The LRU inclusion property: a capacity-C hit is also a hit at any
+        # capacity > C, by construction of stack distances.
+        rng = np.random.default_rng(7)
+        ids = rng.integers(0, 50, size=2000)
+        small, large = lru_hit_rate_curve(ids, [8, 32])
+        assert large >= small
+
+
+class TestWorkingSetCurve:
+    def test_disjoint_batches_sum(self):
+        batches = [np.array([1, 2]), np.array([3, 4]), np.array([5, 6])]
+        curve = working_set_curve(batches, window_batches=2)
+        assert curve.tolist() == [4, 4]
+
+    def test_overlapping_batches_dedup(self):
+        batches = [np.array([1, 2]), np.array([2, 3])]
+        curve = working_set_curve(batches, window_batches=2)
+        assert curve.tolist() == [3]
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            working_set_curve([np.array([1])], window_batches=0)
+
+    def test_bounded_by_vi_d_formula(self):
+        from repro.core.scratchpad import required_slots
+        from repro.data.trace import make_dataset
+        from repro.model.config import tiny_config
+
+        cfg = tiny_config(rows_per_table=5000, batch_size=16,
+                          lookups_per_table=4, num_tables=1)
+        dataset = make_dataset(cfg, "random", seed=2, num_batches=12)
+        batches = [dataset.batch(i).table_ids(0) for i in range(12)]
+        curve = working_set_curve(batches, window_batches=6)
+        assert curve.max() <= required_slots(cfg, window_batches=6)

@@ -1,0 +1,72 @@
+"""Tests for the energy model (repro.hardware.energy)."""
+
+import pytest
+
+from repro.hardware.energy import CPU, GPU, EnergyModel, EnergySlice
+from repro.hardware.spec import DEFAULT_HARDWARE
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestEnergySlice:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySlice(seconds=-1.0, busy=(CPU,))
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            EnergySlice(seconds=1.0, busy=("npu",))
+
+    def test_empty_busy_allowed(self):
+        EnergySlice(seconds=1.0, busy=())
+
+
+class TestSliceEnergy:
+    def test_idle_slice(self, model):
+        power = DEFAULT_HARDWARE.power
+        joules = model.slice_energy(EnergySlice(seconds=2.0, busy=()))
+        assert joules == pytest.approx(2.0 * (power.cpu_idle_w + power.gpu_idle_w))
+
+    def test_both_busy(self, model):
+        power = DEFAULT_HARDWARE.power
+        joules = model.slice_energy(EnergySlice(seconds=1.0, busy=(CPU, GPU)))
+        assert joules == pytest.approx(power.cpu_active_w + power.gpu_active_w)
+
+    def test_cpu_only(self, model):
+        power = DEFAULT_HARDWARE.power
+        joules = model.slice_energy(EnergySlice(seconds=1.0, busy=(CPU,)))
+        assert joules == pytest.approx(power.cpu_active_w + power.gpu_idle_w)
+
+    def test_busy_exceeds_idle(self, model):
+        busy = model.slice_energy(EnergySlice(seconds=1.0, busy=(CPU, GPU)))
+        idle = model.slice_energy(EnergySlice(seconds=1.0, busy=()))
+        assert busy > idle
+
+
+class TestAggregation:
+    def test_total_energy_sums(self, model):
+        slices = [
+            EnergySlice(seconds=1.0, busy=(CPU,)),
+            EnergySlice(seconds=2.0, busy=(GPU,)),
+        ]
+        total = model.total_energy(slices)
+        assert total == pytest.approx(sum(model.slice_energy(s) for s in slices))
+
+    def test_breakdown_keys(self, model):
+        named = {
+            "plan": EnergySlice(seconds=0.5, busy=(GPU,)),
+            "collect": EnergySlice(seconds=1.5, busy=(CPU, GPU)),
+        }
+        out = model.breakdown(named)
+        assert set(out) == {"plan", "collect"}
+        assert out["collect"] > out["plan"]
+
+    def test_faster_iteration_uses_less_energy(self, model):
+        # The mechanism behind Figure 14: ScratchPipe's shorter iterations
+        # translate directly into lower energy even with both devices busy.
+        slow = model.total_energy([EnergySlice(seconds=0.150, busy=(CPU, GPU))])
+        fast = model.total_energy([EnergySlice(seconds=0.040, busy=(CPU, GPU))])
+        assert fast < slow / 3

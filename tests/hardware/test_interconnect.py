@@ -1,0 +1,89 @@
+"""Tests for the interconnect cost model (repro.hardware.interconnect)."""
+
+import pytest
+
+from repro.hardware.interconnect import Link
+from repro.hardware.spec import LinkSpec
+
+
+def make_link(full_duplex=True, bandwidth=10e9, latency=1e-6, efficiency=1.0):
+    return Link(
+        LinkSpec(
+            name="test",
+            bandwidth_per_direction=bandwidth,
+            latency_s=latency,
+            full_duplex=full_duplex,
+            efficiency=efficiency,
+        )
+    )
+
+
+class TestTransferTime:
+    def test_zero_bytes_free(self):
+        assert make_link().transfer_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_link().transfer_time(-5)
+
+    def test_bandwidth_term(self):
+        link = make_link(bandwidth=10e9, latency=0.0)
+        assert link.transfer_time(10e9) == pytest.approx(1.0)
+
+    def test_latency_added(self):
+        link = make_link(latency=5e-6)
+        assert link.transfer_time(1.0) == pytest.approx(5e-6, rel=1e-3)
+
+    def test_efficiency_slows_transfer(self):
+        fast = make_link(efficiency=1.0).transfer_time(1e9)
+        slow = make_link(efficiency=0.5).transfer_time(1e9)
+        assert slow == pytest.approx(2 * fast, rel=1e-3)
+
+
+class TestExchangeTime:
+    def test_full_duplex_is_max(self):
+        link = make_link(full_duplex=True, latency=0.0)
+        t = link.exchange_time(10e9, 5e9)
+        assert t == pytest.approx(link.transfer_time(10e9))
+
+    def test_half_duplex_is_sum(self):
+        link = make_link(full_duplex=False, latency=0.0)
+        t = link.exchange_time(10e9, 5e9)
+        expected = link.transfer_time(10e9) + link.transfer_time(5e9)
+        assert t == pytest.approx(expected)
+
+    def test_one_sided_exchange(self):
+        link = make_link()
+        assert link.exchange_time(1e9, 0) == pytest.approx(link.transfer_time(1e9))
+
+
+class TestCollectives:
+    def test_single_gpu_is_free(self):
+        link = make_link()
+        assert link.allto_all_time(1e9, 1) == 0.0
+        assert link.allreduce_time(1e9, 1) == 0.0
+
+    def test_invalid_gpu_count(self):
+        link = make_link()
+        with pytest.raises(ValueError):
+            link.allto_all_time(1e9, 0)
+        with pytest.raises(ValueError):
+            link.allreduce_time(1e9, 0)
+
+    def test_alltoall_remote_fraction(self):
+        link = make_link(latency=0.0)
+        # With 4 GPUs, 3/4 of the payload crosses the link.
+        assert link.allto_all_time(4e9, 4) == pytest.approx(
+            link.transfer_time(3e9)
+        )
+
+    def test_allreduce_ring_volume(self):
+        link = make_link(latency=0.0)
+        # Ring all-reduce of N bytes moves 2*(g-1)/g * N per GPU.
+        assert link.allreduce_time(8e9, 8) == pytest.approx(
+            link.transfer_time(2 * 8e9 * 7 / 8)
+        )
+
+    def test_allreduce_grows_with_gpus(self):
+        link = make_link(latency=0.0)
+        assert link.allreduce_time(1e9, 8) > link.allreduce_time(1e9, 2)

@@ -1,0 +1,95 @@
+"""Tests for the memory-device cost model (repro.hardware.memory)."""
+
+import pytest
+
+from repro.hardware.memory import RANDOM, SEQUENTIAL, MemoryDevice
+from repro.hardware.spec import MemorySpec
+
+
+@pytest.fixture
+def device():
+    spec = MemorySpec(
+        name="test",
+        capacity_bytes=1 << 30,
+        peak_bandwidth=100e9,
+        random_access_efficiency=0.1,
+        sequential_efficiency=0.5,
+        access_latency_s=1e-6,
+    )
+    return MemoryDevice(spec)
+
+
+class TestAccessTime:
+    def test_zero_bytes_is_free(self, device):
+        assert device.access_time(0) == 0.0
+        assert device.read_modify_write_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.access_time(-1)
+        with pytest.raises(ValueError):
+            device.read_modify_write_time(-1)
+
+    def test_random_access_time(self, device):
+        # 10 GB/s effective random bandwidth.
+        assert device.access_time(10e9, RANDOM) == pytest.approx(1.0 + 1e-6)
+
+    def test_sequential_access_time(self, device):
+        # 50 GB/s effective sequential bandwidth.
+        assert device.access_time(50e9, SEQUENTIAL) == pytest.approx(1.0 + 1e-6)
+
+    def test_random_slower_than_sequential(self, device):
+        n = 1e9
+        assert device.access_time(n, RANDOM) > device.access_time(n, SEQUENTIAL)
+
+    def test_unknown_pattern_rejected(self, device):
+        with pytest.raises(ValueError, match="unknown access pattern"):
+            device.access_time(1.0, "strided")
+
+    def test_linear_in_bytes(self, device):
+        lat = device.spec.access_latency_s
+        t1 = device.access_time(1e9) - lat
+        t2 = device.access_time(2e9) - lat
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_read_write_aliases(self, device):
+        assert device.read_time(1e6) == device.access_time(1e6)
+        assert device.write_time(1e6, SEQUENTIAL) == device.access_time(
+            1e6, SEQUENTIAL
+        )
+
+
+class TestReadModifyWrite:
+    def test_rmw_moves_payload_twice(self, device):
+        lat = device.spec.access_latency_s
+        single = device.access_time(1e9) - lat
+        rmw = device.read_modify_write_time(1e9) - lat
+        assert rmw == pytest.approx(2 * single)
+
+    def test_rmw_charges_latency_once(self, device):
+        tiny = device.read_modify_write_time(1.0)
+        assert tiny == pytest.approx(device.spec.access_latency_s, rel=1e-3)
+
+
+class TestScatteredWrite:
+    def test_pattern_recognised(self):
+        from repro.hardware.memory import SCATTERED_WRITE
+        from repro.hardware.spec import DEFAULT_HARDWARE
+
+        device = MemoryDevice(DEFAULT_HARDWARE.cpu_memory)
+        assert device.access_time(1e9, SCATTERED_WRITE) > 0
+
+    def test_between_random_and_sequential(self):
+        # Write combining: scattered full-row writes beat dependent random
+        # reads but cannot beat pure streaming.
+        from repro.hardware.memory import SCATTERED_WRITE
+        from repro.hardware.spec import DEFAULT_HARDWARE
+
+        for spec in (DEFAULT_HARDWARE.cpu_memory, DEFAULT_HARDWARE.gpu_memory):
+            device = MemoryDevice(spec)
+            n = 1e8
+            assert (
+                device.access_time(n, SEQUENTIAL)
+                < device.access_time(n, SCATTERED_WRITE)
+                < device.access_time(n, RANDOM)
+            )

@@ -1,0 +1,103 @@
+"""Tests for hardware specifications (repro.hardware.spec)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.spec import (
+    DEFAULT_HARDWARE,
+    GB,
+    GiB,
+    P3_2XLARGE,
+    P3_16XLARGE,
+    ComputeSpec,
+    HardwareSpec,
+    LinkSpec,
+    MemorySpec,
+)
+
+
+class TestMemorySpec:
+    def test_paper_cpu_bandwidth(self):
+        assert DEFAULT_HARDWARE.cpu_memory.peak_bandwidth == pytest.approx(76.8 * GB)
+
+    def test_paper_gpu_bandwidth(self):
+        assert DEFAULT_HARDWARE.gpu_memory.peak_bandwidth == pytest.approx(900.0 * GB)
+
+    def test_paper_capacities(self):
+        assert DEFAULT_HARDWARE.cpu_memory.capacity_bytes == 256 * GiB
+        assert DEFAULT_HARDWARE.gpu_memory.capacity_bytes == 32 * GiB
+
+    def test_random_bandwidth_below_sequential(self):
+        for mem in (DEFAULT_HARDWARE.cpu_memory, DEFAULT_HARDWARE.gpu_memory):
+            assert mem.random_bandwidth < mem.sequential_bandwidth
+
+    def test_effective_bandwidths_positive(self):
+        mem = DEFAULT_HARDWARE.cpu_memory
+        assert mem.random_bandwidth > 0
+        assert mem.sequential_bandwidth > 0
+
+    def test_gpu_random_bandwidth_exceeds_cpu(self):
+        # The whole premise of the paper: GPU memory is far faster for the
+        # sparse embedding operations.
+        ratio = (
+            DEFAULT_HARDWARE.gpu_memory.random_bandwidth
+            / DEFAULT_HARDWARE.cpu_memory.random_bandwidth
+        )
+        assert ratio > 10
+
+
+class TestLinkSpec:
+    def test_paper_pcie_bandwidth(self):
+        assert DEFAULT_HARDWARE.pcie.bandwidth_per_direction == pytest.approx(16.0 * GB)
+
+    def test_pcie_full_duplex(self):
+        assert DEFAULT_HARDWARE.pcie.full_duplex
+
+    def test_effective_below_nominal(self):
+        link = DEFAULT_HARDWARE.pcie
+        assert link.effective_bandwidth < link.bandwidth_per_direction
+
+    def test_nvlink_faster_than_pcie(self):
+        assert (
+            DEFAULT_HARDWARE.nvlink.effective_bandwidth
+            > DEFAULT_HARDWARE.pcie.effective_bandwidth
+        )
+
+
+class TestComputeSpec:
+    def test_effective_flops(self):
+        spec = ComputeSpec(name="x", peak_flops=10e12, mlp_efficiency=0.1,
+                           kernel_launch_s=1e-6)
+        assert spec.effective_flops == pytest.approx(1e12)
+
+    def test_gpu_compute_faster_than_cpu(self):
+        assert (
+            DEFAULT_HARDWARE.gpu_compute.effective_flops
+            > DEFAULT_HARDWARE.cpu_compute.effective_flops
+        )
+
+
+class TestHardwareSpec:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_HARDWARE.stage_sync_s = 0.0
+
+    def test_default_is_hardware_spec(self):
+        assert isinstance(DEFAULT_HARDWARE, HardwareSpec)
+
+    def test_power_active_exceeds_idle(self):
+        power = DEFAULT_HARDWARE.power
+        assert power.cpu_active_w > power.cpu_idle_w
+        assert power.gpu_active_w > power.gpu_idle_w
+
+
+class TestAwsInstances:
+    def test_table1_prices(self):
+        # Exactly the prices quoted in Table I.
+        assert P3_2XLARGE.price_per_hour == pytest.approx(3.06)
+        assert P3_16XLARGE.price_per_hour == pytest.approx(24.48)
+
+    def test_gpu_counts(self):
+        assert P3_2XLARGE.num_gpus == 1
+        assert P3_16XLARGE.num_gpus == 8

@@ -1,0 +1,135 @@
+"""Tests for the per-primitive latency model (repro.hardware.timing)."""
+
+import pytest
+
+from repro.hardware.timing import CostModel, ID_BYTES
+from repro.model.config import ModelConfig
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+class TestDeviceRouting:
+    def test_unknown_device_rejected(self, cost):
+        with pytest.raises(ValueError, match="unknown device"):
+            cost.embedding_gather(10, "tpu")
+
+    def test_gpu_gather_faster_than_cpu(self, cost):
+        rows = 100_000
+        assert cost.embedding_gather(rows, "gpu") < cost.embedding_gather(rows, "cpu")
+
+    def test_gpu_scatter_faster_than_cpu(self, cost):
+        rows = 100_000
+        assert cost.gradient_scatter(rows, "gpu") < cost.gradient_scatter(rows, "cpu")
+
+
+class TestEmbeddingPrimitives:
+    def test_gather_scales_with_rows(self, cost):
+        assert cost.embedding_gather(2000, "cpu") > cost.embedding_gather(1000, "cpu")
+
+    def test_backward_is_sum_of_parts(self, cost):
+        rows, unique = 10_000, 8_000
+        total = cost.embedding_backward(rows, unique, "cpu")
+        parts = (
+            cost.gradient_duplicate(rows, "cpu")
+            + cost.gradient_coalesce(rows, "cpu")
+            + cost.gradient_scatter(unique, "cpu")
+        )
+        assert total == pytest.approx(parts)
+
+    def test_zero_rows_free(self, cost):
+        assert cost.embedding_gather(0, "cpu") == 0.0
+        assert cost.gradient_scatter(0, "gpu") == 0.0
+
+    def test_backward_heavier_than_forward(self, cost):
+        # The paper: backpropagation (duplicate + coalesce + scatter) costs
+        # more than the forward gather+reduce (Figure 5's breakdown).
+        rows = 300_000
+        forward = cost.embedding_gather(rows, "cpu") + cost.embedding_reduce(
+            rows, "cpu"
+        )
+        backward = cost.embedding_backward(rows, rows, "cpu")
+        assert backward > forward
+
+
+class TestTransfers:
+    def test_id_transfer_uses_id_bytes(self, cost):
+        n = 1_000_000
+        direct = cost.pcie.transfer_time(n * ID_BYTES)
+        assert cost.id_transfer(n) == pytest.approx(direct)
+
+    def test_row_exchange_full_duplex(self, cost):
+        one_way = cost.row_transfer(10_000)
+        both = cost.row_exchange(10_000, 10_000)
+        assert both == pytest.approx(one_way)
+
+    def test_pooled_transfer_positive(self, cost):
+        assert cost.pooled_transfer() > 0
+
+
+class TestCacheManagementPrimitives:
+    def test_hitmap_query_scales(self, cost):
+        assert cost.hitmap_query(2e6) > cost.hitmap_query(1e6)
+
+    def test_cpu_table_read_dominates_gpu_fill(self, cost):
+        # The Collect stage's CPU side is the bottleneck — the core premise
+        # behind hiding it with pipelining.
+        rows = 100_000
+        assert cost.cpu_table_read(rows) > cost.cache_fill(rows) * 5
+
+
+class TestDenseCost:
+    def test_backward_is_double_forward(self, cost):
+        assert cost.dense_backward("gpu") == pytest.approx(
+            2.0 * cost.dense_forward("gpu")
+        )
+
+    def test_train_is_forward_plus_backward(self, cost):
+        assert cost.dense_train("gpu") == pytest.approx(
+            cost.dense_forward("gpu") + cost.dense_backward("gpu")
+        )
+
+    def test_gpu_dense_faster_than_cpu(self, cost):
+        assert cost.dense_train("gpu") < cost.dense_train("cpu")
+
+    def test_dense_time_in_paper_range(self, cost):
+        # Table I's 8-GPU numbers (16-19 ms/iter) are dominated by the
+        # dense segment; the calibrated model must land near that range.
+        assert 0.010 < cost.dense_train("gpu") < 0.025
+
+
+class TestFullScaleCalibration:
+    """Assert the calibrated model lands in the paper's reported ranges."""
+
+    def test_hybrid_iteration_scale(self, cost):
+        cfg = cost.config
+        rows = cfg.lookups_per_batch
+        total = (
+            cost.embedding_gather(rows, "cpu")
+            + cost.embedding_reduce(rows, "cpu")
+            + 2 * cost.pooled_transfer()
+            + cost.dense_train("gpu")
+            + cost.embedding_backward(rows, rows, "cpu")
+        )
+        # Figure 5: the hybrid baseline takes roughly 150-200 ms/iteration.
+        assert 0.120 < total < 0.260
+
+    def test_cpu_collect_of_full_miss_near_table1_random(self, cost):
+        # Table I Random: 47.82 ms — dominated by collecting ~all lookups
+        # from CPU memory.
+        t = cost.cpu_table_read(cost.config.lookups_per_batch)
+        assert 0.030 < t < 0.070
+
+
+class TestConfigScaling:
+    def test_larger_dim_costs_more(self):
+        small = CostModel(config=ModelConfig(embedding_dim=64,
+                                             bottom_mlp=(512, 256, 64)))
+        large = CostModel(config=ModelConfig(embedding_dim=256,
+                                             bottom_mlp=(512, 256, 256)))
+        rows = 100_000
+        assert large.embedding_gather(rows, "cpu") > small.embedding_gather(
+            rows, "cpu"
+        )

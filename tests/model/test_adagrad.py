@@ -1,0 +1,122 @@
+"""Tests for the Adagrad optimiser (repro.model.adagrad)."""
+
+import numpy as np
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.model.adagrad import AdagradOptimizer, DenseAdagrad, SparseAdagrad
+from repro.model.config import tiny_config
+from repro.model.dlrm import DLRMModel
+from repro.model.mlp import MLP
+
+
+class TestSparseAdagrad:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseAdagrad(num_rows=0)
+        with pytest.raises(ValueError):
+            SparseAdagrad(num_rows=5, lr=0.0)
+
+    def test_first_update_normalised(self):
+        opt = SparseAdagrad(num_rows=10, lr=0.1, eps=0.0)
+        weights = np.zeros((10, 2), dtype=np.float32)
+        grads = np.array([[3.0, 4.0]], dtype=np.float32)
+        opt.update(weights, np.array([2]), grads)
+        # accumulator = mean(g^2) = 12.5; scale = 0.1/sqrt(12.5)
+        expected = -0.1 / np.sqrt(12.5) * grads[0]
+        assert np.allclose(weights[2], expected, atol=1e-6)
+
+    def test_accumulator_grows(self):
+        opt = SparseAdagrad(num_rows=4, lr=0.1)
+        weights = np.zeros((4, 2), dtype=np.float32)
+        g = np.ones((1, 2), dtype=np.float32)
+        opt.update(weights, np.array([1]), g)
+        first = opt.accumulator(np.array([1]))[0]
+        opt.update(weights, np.array([1]), g)
+        assert opt.accumulator(np.array([1]))[0] == pytest.approx(2 * first)
+
+    def test_effective_lr_decays(self):
+        opt = SparseAdagrad(num_rows=4, lr=0.1)
+        weights = np.zeros((4, 1), dtype=np.float32)
+        g = np.ones((1, 1), dtype=np.float32)
+        opt.update(weights, np.array([0]), g)
+        step1 = abs(weights[0, 0])
+        before = weights[0, 0]
+        opt.update(weights, np.array([0]), g)
+        step2 = abs(weights[0, 0] - before)
+        assert step2 < step1
+
+    def test_untouched_rows_unchanged(self):
+        opt = SparseAdagrad(num_rows=4, lr=0.1)
+        weights = np.ones((4, 2), dtype=np.float32)
+        opt.update(weights, np.array([1]), np.ones((1, 2), np.float32))
+        assert np.allclose(weights[[0, 2, 3]], 1.0)
+
+    def test_empty_update_noop(self):
+        opt = SparseAdagrad(num_rows=4, lr=0.1)
+        weights = np.ones((4, 2), dtype=np.float32)
+        opt.update(weights, np.empty(0, np.int64), np.empty((0, 2), np.float32))
+        assert np.allclose(weights, 1.0)
+
+    def test_length_mismatch_rejected(self):
+        opt = SparseAdagrad(num_rows=4)
+        with pytest.raises(ValueError):
+            opt.update(np.zeros((4, 2), np.float32), np.array([1]),
+                       np.zeros((2, 2), np.float32))
+
+
+class TestDenseAdagrad:
+    def test_step_before_backward_raises(self):
+        mlp = MLP.initialise(3, (2,), np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            DenseAdagrad(lr=0.1).step(mlp)
+
+    def test_step_applies_and_clears(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP.initialise(3, (2,), rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        mlp.forward(x)
+        mlp.backward(np.ones((4, 2), dtype=np.float32))
+        before = mlp.layers[0].weight.copy()
+        opt = DenseAdagrad(lr=0.1)
+        opt.step(mlp)
+        assert not np.allclose(mlp.layers[0].weight, before)
+        assert mlp.layers[0].grad_weight is None
+
+    def test_adaptive_scaling(self):
+        # A constant gradient shrinks each successive Adagrad step.
+        rng = np.random.default_rng(0)
+        mlp = MLP.initialise(2, (1,), rng)
+        opt = DenseAdagrad(lr=0.1)
+        x = np.ones((1, 2), dtype=np.float32)
+        deltas = []
+        for _ in range(3):
+            before = mlp.layers[0].weight.copy()
+            mlp.forward(x)
+            mlp.backward(np.ones((1, 1), dtype=np.float32))
+            opt.step(mlp)
+            deltas.append(np.abs(mlp.layers[0].weight - before).max())
+        assert deltas[0] > deltas[1] > deltas[2]
+
+
+class TestAdagradOptimizer:
+    def test_drop_in_for_dlrm(self):
+        cfg = tiny_config(rows_per_table=100, batch_size=8,
+                          lookups_per_table=2, num_tables=2)
+        dataset = make_dataset(cfg, "medium", seed=1, num_batches=25,
+                               with_dense=True)
+        model = DLRMModel.initialise(cfg, seed=0,
+                                     optimizer=AdagradOptimizer(lr=0.05))
+        losses = [model.train_step(dataset.batch(i)) for i in range(25)]
+        assert all(np.isfinite(l) for l in losses)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_separate_state_per_table(self):
+        cfg = tiny_config(rows_per_table=50, batch_size=4,
+                          lookups_per_table=2, num_tables=2)
+        dataset = make_dataset(cfg, "medium", seed=2, num_batches=2,
+                               with_dense=True)
+        opt = AdagradOptimizer(lr=0.05)
+        model = DLRMModel.initialise(cfg, seed=0, optimizer=opt)
+        model.train_step(dataset.batch(0))
+        assert len(opt._sparse) == cfg.num_tables

@@ -1,0 +1,84 @@
+"""Tests for model checkpointing (repro.model.checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.model.checkpoint import (
+    checkpoint_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.model.config import tiny_config
+from repro.model.dlrm import DLRMModel
+
+
+@pytest.fixture
+def cfg():
+    return tiny_config(rows_per_table=100, batch_size=4, lookups_per_table=2,
+                       num_tables=2)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, cfg, tmp_path):
+        model = DLRMModel.initialise(cfg, seed=3)
+        dataset = make_dataset(cfg, "medium", seed=1, num_batches=4,
+                               with_dense=True)
+        for i in range(4):
+            model.train_step(dataset.batch(i))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+
+        restored = DLRMModel.initialise(cfg, seed=99)  # different init
+        load_checkpoint(path, restored)
+        for a, b in zip(model.tables, restored.tables):
+            assert np.array_equal(a.weights, b.weights)
+        for mlp_a, mlp_b in (
+            (model.dense_network.bottom_mlp, restored.dense_network.bottom_mlp),
+            (model.dense_network.top_mlp, restored.dense_network.top_mlp),
+        ):
+            for la, lb in zip(mlp_a.layers, mlp_b.layers):
+                assert np.array_equal(la.weight, lb.weight)
+                assert np.array_equal(la.bias, lb.bias)
+
+    def test_restored_model_trains_identically(self, cfg, tmp_path):
+        dataset = make_dataset(cfg, "medium", seed=1, num_batches=8,
+                               with_dense=True)
+        model = DLRMModel.initialise(cfg, seed=3)
+        for i in range(4):
+            model.train_step(dataset.batch(i))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+
+        restored = DLRMModel.initialise(cfg, seed=99)
+        load_checkpoint(path, restored)
+        # Continue training both from the checkpoint: identical trajectories.
+        for i in range(4, 8):
+            assert model.train_step(dataset.batch(i)) == pytest.approx(
+                restored.train_step(dataset.batch(i)), abs=0.0
+            )
+
+
+class TestValidation:
+    def test_table_count_mismatch(self, cfg, tmp_path):
+        model = DLRMModel.initialise(cfg, seed=3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        other = DLRMModel.initialise(cfg.scaled(num_tables=1), seed=3)
+        with pytest.raises(ValueError, match="tables"):
+            load_checkpoint(path, other)
+
+    def test_shape_mismatch(self, cfg, tmp_path):
+        model = DLRMModel.initialise(cfg, seed=3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model)
+        other = DLRMModel.initialise(cfg.scaled(rows_per_table=50), seed=3)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_checkpoint(path, other)
+
+
+class TestSize:
+    def test_checkpoint_bytes_accounts_everything(self, cfg):
+        model = DLRMModel.initialise(cfg, seed=0)
+        expected_tables = cfg.num_tables * cfg.rows_per_table * cfg.embedding_dim * 4
+        assert checkpoint_bytes(model) > expected_tables

@@ -1,0 +1,143 @@
+"""Tests for the full DLRM model (repro.model.dlrm)."""
+
+import numpy as np
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.model.config import tiny_config
+from repro.model.dlrm import DLRMModel, DenseNetwork
+from repro.model.optimizer import SGD
+
+
+@pytest.fixture
+def cfg():
+    return tiny_config(rows_per_table=100, batch_size=8, lookups_per_table=3,
+                       num_tables=2)
+
+
+@pytest.fixture
+def dataset(cfg):
+    return make_dataset(cfg, "medium", seed=2, num_batches=30, with_dense=True)
+
+
+class TestDenseNetwork:
+    def test_forward_shape(self, cfg):
+        rng = np.random.default_rng(0)
+        net = DenseNetwork.initialise(cfg, rng)
+        dense = rng.standard_normal(
+            (cfg.batch_size, cfg.num_dense_features)
+        ).astype(np.float32)
+        pooled = rng.standard_normal(
+            (cfg.batch_size, cfg.num_tables, cfg.embedding_dim)
+        ).astype(np.float32)
+        logits = net.forward(dense, pooled)
+        assert logits.shape == (cfg.batch_size,)
+
+    def test_loss_before_forward_raises(self, cfg):
+        net = DenseNetwork.initialise(cfg, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            net.loss(np.zeros(4, dtype=np.float32))
+
+    def test_backward_returns_pooled_grad(self, cfg):
+        rng = np.random.default_rng(0)
+        net = DenseNetwork.initialise(cfg, rng)
+        dense = rng.standard_normal(
+            (cfg.batch_size, cfg.num_dense_features)
+        ).astype(np.float32)
+        pooled = rng.standard_normal(
+            (cfg.batch_size, cfg.num_tables, cfg.embedding_dim)
+        ).astype(np.float32)
+        net.forward(dense, pooled)
+        labels = np.zeros(cfg.batch_size, dtype=np.float32)
+        grad = net.backward(labels)
+        assert grad.shape == pooled.shape
+        assert np.isfinite(grad).all()
+        assert np.abs(grad).max() > 0
+
+    def test_pooled_gradient_numerically(self, cfg):
+        rng = np.random.default_rng(7)
+        net = DenseNetwork.initialise(cfg, rng)
+        dense = rng.standard_normal(
+            (cfg.batch_size, cfg.num_dense_features)
+        ).astype(np.float32)
+        pooled = rng.standard_normal(
+            (cfg.batch_size, cfg.num_tables, cfg.embedding_dim)
+        ).astype(np.float32)
+        labels = (rng.random(cfg.batch_size) < 0.5).astype(np.float32)
+        net.forward(dense, pooled)
+        grad = net.backward(labels)
+        eps = 1e-3
+        # Spot-check a handful of coordinates against central differences.
+        for idx in [(0, 0, 0), (1, 1, 2), (3, 0, 5)]:
+            orig = pooled[idx]
+            pooled[idx] = orig + eps
+            net.forward(dense, pooled)
+            up = net.loss(labels)
+            pooled[idx] = orig - eps
+            net.forward(dense, pooled)
+            down = net.loss(labels)
+            pooled[idx] = orig
+            assert grad[idx] == pytest.approx((up - down) / (2 * eps), abs=1e-3)
+
+    def test_copy_parameters(self, cfg):
+        a = DenseNetwork.initialise(cfg, np.random.default_rng(0))
+        b = DenseNetwork.initialise(cfg, np.random.default_rng(1))
+        b.copy_parameters_from(a)
+        x = np.random.default_rng(2).standard_normal(
+            (cfg.batch_size, cfg.num_dense_features)
+        ).astype(np.float32)
+        pooled = np.zeros(
+            (cfg.batch_size, cfg.num_tables, cfg.embedding_dim), np.float32
+        )
+        assert np.allclose(a.forward(x, pooled), b.forward(x, pooled))
+
+
+class TestDLRMModel:
+    def test_deterministic_initialisation(self, cfg):
+        a = DLRMModel.initialise(cfg, seed=9)
+        b = DLRMModel.initialise(cfg, seed=9)
+        assert np.array_equal(a.tables[0].weights, b.tables[0].weights)
+
+    def test_train_step_returns_finite_loss(self, cfg, dataset):
+        model = DLRMModel.initialise(cfg, seed=0)
+        loss = model.train_step(dataset.batch(0))
+        assert np.isfinite(loss) and loss > 0
+
+    def test_training_reduces_loss(self, cfg, dataset):
+        model = DLRMModel.initialise(cfg, seed=0, optimizer=SGD(lr=0.05))
+        losses = [model.train_step(dataset.batch(i)) for i in range(30)]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_train_step_requires_dense(self, cfg):
+        model = DLRMModel.initialise(cfg, seed=0)
+        id_only = make_dataset(cfg, "medium", num_batches=1)
+        with pytest.raises(ValueError, match="dense"):
+            model.train_step(id_only.batch(0))
+
+    def test_train_step_updates_gathered_rows_only(self, cfg, dataset):
+        model = DLRMModel.initialise(cfg, seed=0)
+        before = [t.weights.copy() for t in model.tables]
+        batch = dataset.batch(0)
+        model.train_step(batch)
+        for t in range(cfg.num_tables):
+            touched = np.unique(batch.sparse_ids[t])
+            untouched = np.setdiff1d(np.arange(cfg.rows_per_table), touched)
+            assert np.array_equal(
+                model.tables[t].weights[untouched], before[t][untouched]
+            )
+            assert not np.allclose(
+                model.tables[t].weights[touched], before[t][touched]
+            )
+
+    def test_predict_probabilities(self, cfg, dataset):
+        model = DLRMModel.initialise(cfg, seed=0)
+        probs = model.predict(dataset.batch(0))
+        assert probs.shape == (cfg.batch_size,)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_pooled_embeddings_shape(self, cfg, dataset):
+        model = DLRMModel.initialise(cfg, seed=0)
+        pooled = model.pooled_embeddings(dataset.batch(0))
+        assert pooled.shape == (
+            cfg.batch_size, cfg.num_tables, cfg.embedding_dim
+        )

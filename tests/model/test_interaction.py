@@ -1,0 +1,103 @@
+"""Tests for the dot feature interaction (repro.model.interaction)."""
+
+import numpy as np
+import pytest
+
+from repro.model.interaction import DotInteraction, interaction_output_features
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestForward:
+    def test_output_width(self, rng):
+        inter = DotInteraction()
+        bottom = rng.standard_normal((3, 4)).astype(np.float32)
+        pooled = rng.standard_normal((3, 2, 4)).astype(np.float32)
+        out = inter.forward(bottom, pooled)
+        assert out.shape == (3, interaction_output_features(2, 4))
+
+    def test_bottom_passthrough(self, rng):
+        inter = DotInteraction()
+        bottom = rng.standard_normal((3, 4)).astype(np.float32)
+        pooled = rng.standard_normal((3, 2, 4)).astype(np.float32)
+        out = inter.forward(bottom, pooled)
+        assert np.allclose(out[:, :4], bottom)
+
+    def test_pairwise_dots(self, rng):
+        inter = DotInteraction()
+        bottom = rng.standard_normal((1, 3)).astype(np.float32)
+        pooled = rng.standard_normal((1, 2, 3)).astype(np.float32)
+        out = inter.forward(bottom, pooled)
+        b, e0, e1 = bottom[0], pooled[0, 0], pooled[0, 1]
+        # tril_indices(k=-1) order for n=3: (1,0), (2,0), (2,1).
+        assert out[0, 3] == pytest.approx(float(e0 @ b), rel=1e-5)
+        assert out[0, 4] == pytest.approx(float(e1 @ b), rel=1e-5)
+        assert out[0, 5] == pytest.approx(float(e1 @ e0), rel=1e-5)
+
+    def test_dim_mismatch_rejected(self, rng):
+        inter = DotInteraction()
+        with pytest.raises(ValueError, match="must equal embedding dim"):
+            inter.forward(np.zeros((2, 4), np.float32), np.zeros((2, 2, 5), np.float32))
+
+    def test_rank_validation(self):
+        inter = DotInteraction()
+        with pytest.raises(ValueError):
+            inter.forward(np.zeros((2, 4), np.float32), np.zeros((2, 4), np.float32))
+
+
+class TestBackward:
+    def _numerical(self, f, x, eps=1e-4):
+        grad = np.zeros_like(x, dtype=np.float64)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = x[idx]
+            x[idx] = orig + eps
+            up = f()
+            x[idx] = orig - eps
+            down = f()
+            x[idx] = orig
+            grad[idx] = (up - down) / (2 * eps)
+            it.iternext()
+        return grad
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            DotInteraction().backward(np.zeros((1, 5), np.float32))
+
+    def test_gradients_numerically(self, rng):
+        inter = DotInteraction()
+        bottom = rng.standard_normal((2, 3)).astype(np.float32)
+        pooled = rng.standard_normal((2, 2, 3)).astype(np.float32)
+        g = rng.standard_normal(
+            (2, interaction_output_features(2, 3))
+        ).astype(np.float32)
+
+        def loss():
+            return float((inter.forward(bottom, pooled) * g).sum())
+
+        inter.forward(bottom, pooled)
+        grad_bottom, grad_pooled = inter.backward(g)
+        assert np.allclose(grad_bottom, self._numerical(loss, bottom), atol=1e-2)
+        assert np.allclose(grad_pooled, self._numerical(loss, pooled), atol=1e-2)
+
+    def test_gradient_shapes(self, rng):
+        inter = DotInteraction()
+        bottom = rng.standard_normal((4, 5)).astype(np.float32)
+        pooled = rng.standard_normal((4, 3, 5)).astype(np.float32)
+        out = inter.forward(bottom, pooled)
+        grad_bottom, grad_pooled = inter.backward(np.ones_like(out))
+        assert grad_bottom.shape == bottom.shape
+        assert grad_pooled.shape == pooled.shape
+
+
+class TestOutputFeatures:
+    @pytest.mark.parametrize(
+        "tables,dim,expected",
+        [(1, 4, 4 + 1), (2, 4, 4 + 3), (8, 128, 128 + 36)],
+    )
+    def test_formula(self, tables, dim, expected):
+        assert interaction_output_features(tables, dim) == expected

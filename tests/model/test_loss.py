@@ -1,0 +1,86 @@
+"""Tests for the BCE loss (repro.model.loss)."""
+
+import numpy as np
+import pytest
+
+from repro.model.loss import bce_with_logits, bce_with_logits_grad, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.isfinite(out).all()
+
+
+class TestBceWithLogits:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([10.0, -10.0])
+        labels = np.array([1.0, 0.0])
+        assert bce_with_logits(logits, labels) < 1e-3
+
+    def test_wrong_prediction_high_loss(self):
+        logits = np.array([10.0])
+        labels = np.array([0.0])
+        assert bce_with_logits(logits, labels) > 5.0
+
+    def test_chance_level(self):
+        logits = np.zeros(4)
+        labels = np.array([0.0, 1.0, 0.0, 1.0])
+        assert bce_with_logits(logits, labels) == pytest.approx(np.log(2))
+
+    def test_matches_naive_formula(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal(32)
+        labels = (rng.random(32) < 0.5).astype(np.float64)
+        p = 1 / (1 + np.exp(-logits))
+        naive = -(labels * np.log(p) + (1 - labels) * np.log(1 - p)).mean()
+        assert bce_with_logits(logits, labels) == pytest.approx(naive, rel=1e-6)
+
+    def test_no_overflow_for_large_logits(self):
+        loss = bce_with_logits(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.isfinite(loss)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(3), np.zeros(2))
+
+
+class TestBceGrad:
+    def test_gradient_formula(self):
+        logits = np.array([0.0, 2.0], dtype=np.float32)
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+        grad = bce_with_logits_grad(logits, labels)
+        expected = (sigmoid(logits.astype(np.float64)) - labels) / 2
+        assert np.allclose(grad, expected, atol=1e-6)
+
+    def test_gradient_numerically(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal(8).astype(np.float64)
+        labels = (rng.random(8) < 0.5).astype(np.float64)
+        grad = bce_with_logits_grad(logits, labels)
+        eps = 1e-5
+        for i in range(8):
+            bumped = logits.copy()
+            bumped[i] += eps
+            up = bce_with_logits(bumped, labels)
+            bumped[i] -= 2 * eps
+            down = bce_with_logits(bumped, labels)
+            assert grad[i] == pytest.approx((up - down) / (2 * eps), abs=1e-4)
+
+    def test_preserves_shape(self):
+        logits = np.zeros((4, 1), dtype=np.float32)
+        labels = np.zeros((4, 1), dtype=np.float32)
+        assert bce_with_logits_grad(logits, labels).shape == (4, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bce_with_logits_grad(np.zeros(3), np.zeros(4))

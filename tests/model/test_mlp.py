@@ -1,0 +1,164 @@
+"""Tests for the MLP (repro.model.mlp), including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.model.mlp import MLP, LinearLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def numerical_grad(f, x, eps=1e-4):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinearLayer:
+    def test_forward_affine(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        out = layer.forward(x)
+        assert np.allclose(out, x @ layer.weight + layer.bias, atol=1e-6)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2), np.float32))
+
+    def test_step_before_backward_raises(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.step(0.1)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        g = rng.standard_normal((5, 2)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x.copy()) * g).sum())
+
+        layer.forward(x)
+        layer.backward(g)
+        numeric = numerical_grad(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-2)
+
+    def test_input_gradient(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        g = rng.standard_normal((5, 2)).astype(np.float32)
+        layer.forward(x)
+        grad_in = layer.backward(g)
+        assert np.allclose(grad_in, g @ layer.weight.T, atol=1e-6)
+
+    def test_step_applies_and_clears(self, rng):
+        layer = LinearLayer.initialise(3, 2, rng)
+        x = np.ones((1, 3), dtype=np.float32)
+        layer.forward(x)
+        layer.backward(np.ones((1, 2), dtype=np.float32))
+        before = layer.weight.copy()
+        layer.step(0.5)
+        assert not np.allclose(layer.weight, before)
+        assert layer.grad_weight is None
+
+
+class TestMLP:
+    def test_requires_layers(self, rng):
+        with pytest.raises(ValueError):
+            MLP.initialise(4, (), rng)
+
+    def test_forward_shape(self, rng):
+        mlp = MLP.initialise(4, (8, 3), rng)
+        out = mlp.forward(rng.standard_normal((6, 4)).astype(np.float32))
+        assert out.shape == (6, 3)
+
+    def test_final_layer_linear(self, rng):
+        # The last layer must not apply ReLU: outputs can be negative.
+        mlp = MLP.initialise(4, (8, 3), rng)
+        outs = [
+            mlp.forward(rng.standard_normal((16, 4)).astype(np.float32))
+            for _ in range(5)
+        ]
+        assert min(o.min() for o in outs) < 0
+
+    def test_hidden_relu_applied(self, rng):
+        mlp = MLP.initialise(2, (4, 1), rng)
+        x = rng.standard_normal((8, 2)).astype(np.float32)
+        mlp.forward(x)
+        hidden = mlp.layers[0].forward(x)
+        relu = hidden * (hidden > 0)
+        expected = relu @ mlp.layers[1].weight + mlp.layers[1].bias
+        assert np.allclose(mlp.forward(x), expected, atol=1e-6)
+
+    def test_backward_before_forward_raises(self, rng):
+        mlp = MLP.initialise(4, (8, 3), rng)
+        with pytest.raises(RuntimeError):
+            mlp.backward(np.zeros((1, 3), np.float32))
+
+    def test_input_gradient_numerically(self, rng):
+        mlp = MLP.initialise(3, (5, 2), rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        g = rng.standard_normal((4, 2)).astype(np.float32)
+
+        def loss():
+            return float((mlp.forward(x) * g).sum())
+
+        mlp.forward(x)
+        grad_in = mlp.backward(g)
+        numeric = numerical_grad(loss, x)
+        assert np.allclose(grad_in, numeric, atol=1e-2)
+
+    def test_parameter_gradients_numerically(self, rng):
+        mlp = MLP.initialise(3, (4, 2), rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        g = rng.standard_normal((4, 2)).astype(np.float32)
+
+        def loss():
+            return float((mlp.forward(x) * g).sum())
+
+        mlp.forward(x)
+        mlp.backward(g)
+        for layer in mlp.layers:
+            numeric_w = numerical_grad(loss, layer.weight)
+            assert np.allclose(layer.grad_weight, numeric_w, atol=1e-2)
+            numeric_b = numerical_grad(loss, layer.bias)
+            assert np.allclose(layer.grad_bias, numeric_b, atol=1e-2)
+
+    def test_step_updates_all_layers(self, rng):
+        mlp = MLP.initialise(3, (4, 2), rng)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        mlp.forward(x)
+        mlp.backward(np.ones((4, 2), dtype=np.float32))
+        before = [layer.weight.copy() for layer in mlp.layers]
+        mlp.step(0.1)
+        for layer, old in zip(mlp.layers, before):
+            assert not np.allclose(layer.weight, old)
+
+    def test_copy_parameters(self, rng):
+        a = MLP.initialise(3, (4, 2), np.random.default_rng(0))
+        b = MLP.initialise(3, (4, 2), np.random.default_rng(1))
+        b.copy_parameters_from(a)
+        for la, lb in zip(a.layers, b.layers):
+            assert np.array_equal(la.weight, lb.weight)
+            assert np.array_equal(la.bias, lb.bias)
+
+    def test_copy_parameters_shape_mismatch(self, rng):
+        a = MLP.initialise(3, (4, 2), rng)
+        b = MLP.initialise(3, (5, 2), rng)
+        with pytest.raises(ValueError):
+            b.copy_parameters_from(a)

@@ -1,0 +1,56 @@
+"""Tests for the SGD optimiser (repro.model.optimizer)."""
+
+import numpy as np
+import pytest
+
+from repro.model.embedding import EmbeddingTable
+from repro.model.mlp import MLP
+from repro.model.optimizer import SGD
+
+
+class TestValidation:
+    def test_positive_lr_required(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=-0.1)
+
+
+class TestDense:
+    def test_step_dense_applies_lr(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP.initialise(3, (2,), rng)
+        x = np.ones((1, 3), dtype=np.float32)
+        mlp.forward(x)
+        mlp.backward(np.ones((1, 2), dtype=np.float32))
+        grad = mlp.layers[0].grad_weight.copy()
+        before = mlp.layers[0].weight.copy()
+        SGD(lr=0.25).step_dense(mlp)
+        assert np.allclose(mlp.layers[0].weight, before - 0.25 * grad)
+
+
+class TestSparse:
+    def test_step_sparse_returns_unique(self):
+        rng = np.random.default_rng(0)
+        table = EmbeddingTable.initialise(10, 2, rng)
+        ids = np.array([[1, 1], [3, 5]])
+        grad = np.ones((2, 2), dtype=np.float32)
+        unique = SGD(lr=0.1).step_sparse(table, ids, grad)
+        assert np.array_equal(unique, [1, 3, 5])
+
+    def test_scatter_applies_lr(self):
+        weights = np.ones((4, 2), dtype=np.float32)
+        SGD(lr=0.5).scatter(
+            weights, np.array([2]), np.array([[1.0, 2.0]], dtype=np.float32)
+        )
+        assert np.allclose(weights[2], [0.5, 0.0])
+        assert np.allclose(weights[0], 1.0)
+
+    def test_scatter_empty_noop(self):
+        weights = np.ones((4, 2), dtype=np.float32)
+        SGD(lr=0.5).scatter(
+            weights,
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 2), dtype=np.float32),
+        )
+        assert np.allclose(weights, 1.0)

@@ -1,0 +1,96 @@
+"""Tests for system-layer shared infrastructure (repro.systems.base)."""
+
+import numpy as np
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.hardware.energy import CPU, GPU, EnergyModel
+from repro.model.config import tiny_config
+from repro.systems.base import (
+    BatchAccessStats,
+    IterationBreakdown,
+    StageTime,
+    SystemRunResult,
+    batch_access_stats,
+    cpu_stage,
+    gpu_stage,
+    transfer_stage,
+)
+
+
+class TestStageTime:
+    def test_helpers_set_busy_devices(self):
+        assert cpu_stage("a", "g", 1.0).busy == (CPU,)
+        assert gpu_stage("a", "g", 1.0).busy == (GPU,)
+        assert transfer_stage("a", "g", 1.0).busy == (CPU, GPU)
+
+    def test_energy_slice(self):
+        stage = cpu_stage("a", "g", 2.0)
+        piece = stage.energy_slice()
+        assert piece.seconds == 2.0
+        assert piece.busy == (CPU,)
+
+
+class TestIterationBreakdown:
+    @pytest.fixture
+    def breakdown(self):
+        return IterationBreakdown(
+            stages=(
+                cpu_stage("gather", "fwd", 0.010),
+                cpu_stage("reduce", "fwd", 0.002),
+                gpu_stage("dense", "gpu", 0.005),
+            )
+        )
+
+    def test_total(self, breakdown):
+        assert breakdown.total == pytest.approx(0.017)
+
+    def test_by_group(self, breakdown):
+        groups = breakdown.by_group()
+        assert groups == {"fwd": pytest.approx(0.012), "gpu": pytest.approx(0.005)}
+
+    def test_by_stage(self, breakdown):
+        assert breakdown.by_stage()["gather"] == pytest.approx(0.010)
+
+    def test_sequential_energy_positive(self, breakdown):
+        assert breakdown.sequential_energy(EnergyModel()) > 0
+
+
+class TestSystemRunResult:
+    def test_mean_latency_skips_warmup(self):
+        result = SystemRunResult(system="x", iteration_times=[10.0] * 3 + [1.0] * 5)
+        assert result.mean_latency(warmup=3) == pytest.approx(1.0)
+
+    def test_short_runs_use_everything(self):
+        result = SystemRunResult(system="x", iteration_times=[2.0, 4.0])
+        assert result.mean_latency(warmup=6) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SystemRunResult(system="x").mean_latency()
+
+    def test_stage_means(self):
+        result = SystemRunResult(
+            system="x",
+            breakdowns=[
+                IterationBreakdown(stages=(cpu_stage("a", "g", t),))
+                for t in (1.0, 3.0)
+            ],
+        )
+        assert result.stage_means(warmup=0)["a"] == pytest.approx(2.0)
+
+
+class TestBatchAccessStats:
+    def test_counts(self):
+        cfg = tiny_config(rows_per_table=50, batch_size=4, lookups_per_table=2,
+                          num_tables=2)
+        batch = make_dataset(cfg, "high", seed=1, num_batches=1).batch(0)
+        stats = batch_access_stats(batch)
+        assert stats.total_lookups == 2 * 4 * 2
+        assert 1 <= stats.unique_rows <= stats.total_lookups
+
+    def test_duplication_factor(self):
+        stats = BatchAccessStats(total_lookups=20, unique_rows=5)
+        assert stats.duplication_factor == 4.0
+        empty = BatchAccessStats(total_lookups=0, unique_rows=0)
+        assert empty.duplication_factor == 1.0

@@ -1,0 +1,75 @@
+"""Tests for the hybrid CPU-GPU baseline system (repro.systems.hybrid)."""
+
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import ModelConfig, tiny_config
+from repro.systems.base import (
+    CPU_EMB_BACKWARD,
+    CPU_EMB_FORWARD,
+    GPU_GROUP,
+    BatchAccessStats,
+)
+from repro.systems.hybrid import HybridSystem
+
+
+@pytest.fixture
+def system():
+    return HybridSystem(ModelConfig(), DEFAULT_HARDWARE)
+
+
+@pytest.fixture
+def stats():
+    cfg = ModelConfig()
+    return BatchAccessStats(
+        total_lookups=cfg.lookups_per_batch,
+        unique_rows=int(cfg.lookups_per_batch * 0.95),
+    )
+
+
+class TestBreakdown:
+    def test_all_groups_present(self, system, stats):
+        groups = system.iteration_breakdown(stats).by_group()
+        assert set(groups) == {CPU_EMB_FORWARD, CPU_EMB_BACKWARD, GPU_GROUP}
+
+    def test_cpu_dominates(self, system, stats):
+        # Figure 5: the hybrid baseline spends most time in CPU-side
+        # embedding training.
+        groups = system.iteration_breakdown(stats).by_group()
+        cpu = groups[CPU_EMB_FORWARD] + groups[CPU_EMB_BACKWARD]
+        assert cpu > 3 * groups[GPU_GROUP]
+
+    def test_backward_heavier_than_forward(self, system, stats):
+        groups = system.iteration_breakdown(stats).by_group()
+        assert groups[CPU_EMB_BACKWARD] > groups[CPU_EMB_FORWARD]
+
+    def test_total_in_paper_range(self, system, stats):
+        # ~150-200 ms per iteration (Figure 5's y-axis).
+        assert 0.120 < system.iteration_breakdown(stats).total < 0.260
+
+
+class TestRunTrace:
+    def test_laptop_scale_run(self):
+        cfg = tiny_config(rows_per_table=100, batch_size=4,
+                          lookups_per_table=2, num_tables=2)
+        system = HybridSystem(cfg, DEFAULT_HARDWARE)
+        dataset = make_dataset(cfg, "medium", seed=1, num_batches=5)
+        result = system.run_trace(dataset)
+        assert len(result.iteration_times) == 5
+        assert all(t > 0 for t in result.iteration_times)
+        assert all(e > 0 for e in result.energies)
+
+    def test_locality_insensitive_forward(self):
+        # The no-cache baseline gathers every lookup from CPU regardless of
+        # locality; only the scatter's unique-row count varies.
+        cfg = ModelConfig()
+        system = HybridSystem(cfg, DEFAULT_HARDWARE)
+        high = BatchAccessStats(cfg.lookups_per_batch, cfg.lookups_per_batch // 4)
+        rand = BatchAccessStats(cfg.lookups_per_batch, cfg.lookups_per_batch)
+        fwd_high = system.iteration_breakdown(high).by_group()[CPU_EMB_FORWARD]
+        fwd_rand = system.iteration_breakdown(rand).by_group()[CPU_EMB_FORWARD]
+        assert fwd_high == pytest.approx(fwd_rand)
+        total_high = system.iteration_breakdown(high).total
+        total_rand = system.iteration_breakdown(rand).total
+        assert total_high < total_rand

@@ -1,0 +1,52 @@
+"""Tests for throughput metrics (repro.systems.metrics)."""
+
+import pytest
+
+from repro.hardware.spec import P3_2XLARGE
+from repro.model.config import ModelConfig
+from repro.systems.base import SystemRunResult
+from repro.systems.metrics import ThroughputReport, speedup, throughput_report
+
+
+@pytest.fixture
+def result():
+    return SystemRunResult(
+        system="test",
+        iteration_times=[0.100] * 3 + [0.050] * 7,
+        energies=[30.0] * 3 + [10.0] * 7,
+    )
+
+
+class TestThroughputReport:
+    def test_steady_state_metrics(self, result):
+        config = ModelConfig()
+        report = throughput_report(result, config, dataset_samples=2048 * 100,
+                                   warmup=3)
+        assert report.iteration_seconds == pytest.approx(0.050)
+        assert report.samples_per_second == pytest.approx(2048 / 0.050)
+        assert report.epoch_iterations == 100
+        assert report.epoch_seconds == pytest.approx(5.0)
+        assert report.epoch_joules == pytest.approx(1000.0)
+
+    def test_epoch_iterations_ceil(self, result):
+        config = ModelConfig()
+        report = throughput_report(result, config,
+                                   dataset_samples=2048 * 10 + 1, warmup=3)
+        assert report.epoch_iterations == 11
+
+    def test_dataset_size_validated(self, result):
+        with pytest.raises(ValueError):
+            throughput_report(result, ModelConfig(), dataset_samples=0)
+
+    def test_epoch_cost(self, result):
+        report = throughput_report(result, ModelConfig(),
+                                   dataset_samples=2048 * 7200, warmup=3)
+        # 7200 iterations x 50 ms = 360 s = 0.1 hr.
+        assert report.epoch_cost(P3_2XLARGE) == pytest.approx(0.306)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        slow = ThroughputReport("a", 0.1, 1000.0, 10, 1.0, 10.0)
+        fast = ThroughputReport("b", 0.05, 4000.0, 10, 0.5, 5.0)
+        assert speedup(slow, fast) == pytest.approx(4.0)

