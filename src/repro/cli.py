@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro.cli fig13 --batches 12 --fractions 0.02 0.10
+    python -m repro.cli --workers 4 fig13 --fractions 0.02 0.10
+    python -m repro.cli fig15a --dims 64 128
     python -m repro.cli table1
     python -m repro.cli fig6
     python -m repro.cli overhead
@@ -26,7 +28,10 @@ from repro.analysis.experiments import (
     fig12b_scratchpipe_latency,
     fig13_speedup,
     fig14_energy,
+    fig15a_dim_sensitivity,
+    fig15b_lookup_sensitivity,
     overhead_vi_d,
+    replacement_policy_sensitivity,
     table1_cost,
 )
 from repro.analysis.report import banner, format_breakdown, format_table
@@ -58,7 +63,8 @@ def cmd_fig6(args: argparse.Namespace) -> None:
 def cmd_fig12b(args: argparse.Namespace) -> None:
     """Figure 12(b): ScratchPipe per-stage latency."""
     out = fig12b_scratchpipe_latency(
-        _setup(args), cache_fractions=tuple(args.fractions)
+        _setup(args), cache_fractions=tuple(args.fractions),
+        workers=args.workers,
     )
     print(banner("Figure 12(b): ScratchPipe per-stage latency"))
     for locality, sizes in out.items():
@@ -68,8 +74,20 @@ def cmd_fig12b(args: argparse.Namespace) -> None:
 
 def cmd_fig13(args: argparse.Namespace) -> None:
     """Figure 13: end-to-end speedups."""
-    points = fig13_speedup(_setup(args), cache_fractions=tuple(args.fractions))
-    print(banner("Figure 13: speedup normalised to static cache"))
+    points = fig13_speedup(
+        _setup(args), cache_fractions=tuple(args.fractions),
+        workers=args.workers,
+    )
+    _print_speedup_points(
+        "Figure 13: speedup normalised to static cache", points,
+        point_label="locality",
+    )
+
+
+def _print_speedup_points(
+    title: str, points, point_label: str = "sweep point"
+) -> None:
+    print(banner(title))
     rows = []
     for p in points:
         s = p.speedups()
@@ -78,8 +96,42 @@ def cmd_fig13(args: argparse.Namespace) -> None:
             "1.00", f"{s['strawman']:.2f}", f"{s['scratchpipe']:.2f}",
         ])
     print(format_table(
-        ["locality", "cache", "hybrid", "static", "strawman", "scratchpipe"],
+        [point_label, "cache", "hybrid", "static", "strawman", "scratchpipe"],
         rows,
+    ))
+
+
+def cmd_fig15a(args: argparse.Namespace) -> None:
+    """Figure 15(a): embedding-dimension sensitivity."""
+    points = fig15a_dim_sensitivity(
+        dims=tuple(args.dims), cache_fraction=args.cache, base=_setup(args),
+        workers=args.workers,
+    )
+    _print_speedup_points("Figure 15(a): embedding-dimension sensitivity", points)
+
+
+def cmd_fig15b(args: argparse.Namespace) -> None:
+    """Figure 15(b): lookups-per-table sensitivity."""
+    points = fig15b_lookup_sensitivity(
+        lookups=tuple(args.lookups), cache_fraction=args.cache,
+        base=_setup(args), workers=args.workers,
+    )
+    _print_speedup_points("Figure 15(b): lookups-per-table sensitivity", points)
+
+
+def cmd_policies(args: argparse.Namespace) -> None:
+    """Section VI-E: replacement-policy sensitivity."""
+    out = replacement_policy_sensitivity(
+        _setup(args), cache_fraction=args.cache, workers=args.workers
+    )
+    print(banner("Section VI-E: replacement-policy sensitivity (ms/iter)"))
+    policies = sorted(next(iter(out.values())))
+    print(format_table(
+        ["locality"] + policies,
+        [
+            [loc] + [f"{per_policy[p] * 1e3:.2f}" for p in policies]
+            for loc, per_policy in out.items()
+        ],
     ))
 
 
@@ -213,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--batches", type=int, default=14,
                         help="trace length per experiment point")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for sweep grids (1 = serial "
+                             "reference path; results are identical for "
+                             "any worker count)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig6", help="static hit-rate curves")
@@ -226,6 +282,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig13", help="end-to-end speedups")
     p.add_argument("--fractions", type=float, nargs="+", default=[0.02])
     p.set_defaults(func=cmd_fig13)
+
+    p = sub.add_parser("fig15a", help="embedding-dimension sensitivity")
+    p.add_argument("--dims", type=int, nargs="+", default=[64, 128, 256])
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_fig15a)
+
+    p = sub.add_parser("fig15b", help="lookups-per-table sensitivity")
+    p.add_argument("--lookups", type=int, nargs="+", default=[1, 20, 50])
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_fig15b)
+
+    p = sub.add_parser("policies", help="replacement-policy sensitivity")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.set_defaults(func=cmd_policies)
 
     p = sub.add_parser("fig14", help="energy comparison")
     p.add_argument("--cache", type=float, default=0.02)

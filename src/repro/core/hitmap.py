@@ -67,17 +67,41 @@ class HitMap:
         """Key cached in ``slot`` (``EMPTY`` if vacant)."""
         return int(self._key_of_slot[slot])
 
-    def query(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def query(
+        self, keys: np.ndarray, *, presorted_unique: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Probe many keys at once.
 
         Args:
             keys: int64 array of (typically unique) sparse feature IDs.
+                Out-of-range IDs raise :class:`ValueError` — numpy would
+                otherwise silently wrap negative indices and fault on large
+                ones, turning a corrupt trace into wrong hit statistics.
+            presorted_unique: The caller vouches that ``keys`` is an int64
+                array straight out of a prior ``np.unique`` pass (sorted,
+                in-range).  Skips the dtype conversion and reduces the
+                range validation to an O(1) first/last check — the [Plan]
+                hot path uses this.
 
         Returns:
             ``(slots, hit_mask)`` — ``slots[i]`` is the cached slot of
             ``keys[i]`` or ``EMPTY``; ``hit_mask[i]`` is True on a hit.
         """
-        keys = np.asarray(keys, dtype=np.int64)
+        if presorted_unique:
+            if keys.size and (keys[0] < 0 or keys[-1] >= self.num_rows):
+                raise ValueError(
+                    f"key out of range [0, {self.num_rows}): "
+                    f"[{int(keys[0])}, {int(keys[-1])}]"
+                )
+        else:
+            keys = np.asarray(keys, dtype=np.int64)
+            if keys.size and (
+                int(keys.min()) < 0 or int(keys.max()) >= self.num_rows
+            ):
+                raise ValueError(
+                    f"key out of range [0, {self.num_rows}): "
+                    f"min {int(keys.min())}, max {int(keys.max())}"
+                )
         slots = self._slot_of_key[keys].astype(np.int64)
         return slots, slots != EMPTY
 

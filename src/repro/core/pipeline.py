@@ -88,6 +88,11 @@ class HazardError(AssertionError):
     """Raised by :class:`HazardMonitor` on a detected RAW violation."""
 
 
+#: "No write pending" sentinel for the vectorised pending-cycle arrays;
+#: any real write cycle compares greater.
+_NO_WRITE = np.iinfo(np.int64).min
+
+
 @dataclass
 class HazardMonitor:
     """Detects RAW hazards among concurrently in-flight mini-batches.
@@ -97,13 +102,27 @@ class HazardMonitor:
     checks every [Plan]'s victim choices and every [Collect]'s CPU reads
     against them.  ``strict=True`` raises :class:`HazardError` immediately;
     otherwise violations accumulate in :attr:`violations`.
+
+    The default implementation keeps one int64 numpy array per table
+    recording the cycle at which the last scheduled write to each slot
+    (resp. each CPU row) lands; a check is then a fancy-indexed comparison
+    against the reading cycle.  Retirement is *lazy* — a recorded cycle in
+    the past simply never compares as pending again — so
+    :meth:`on_cycle_end` is a no-op.  ``legacy=True`` selects the original
+    per-element dict bookkeeping, retained solely as the oracle for the
+    equivalence tests; the two flag identical violations in identical
+    order.
     """
 
     strict: bool = True
+    legacy: bool = False
     violations: List[str] = field(default_factory=list)
-    # (table, slot) -> cycle of the last scheduled write not yet retired.
+    # Vectorised state: table -> int64 pending-write cycle per slot / row.
+    _slot_write_cycles: Dict[int, np.ndarray] = field(default_factory=dict)
+    _writeback_cycles: Dict[int, np.ndarray] = field(default_factory=dict)
+    # Legacy state: (table, slot) -> cycle of the last scheduled write not
+    # yet retired, and (table, row_id) -> cycle the write-back lands.
     _pending_slot_writes: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    # (table, row_id) -> cycle at which the write-back will land.
     _pending_writebacks: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def _flag(self, message: str) -> None:
@@ -111,14 +130,82 @@ class HazardMonitor:
         if self.strict:
             raise HazardError(message)
 
+    @staticmethod
+    def _grown(store: Dict[int, np.ndarray], table: int, min_size: int) -> np.ndarray:
+        """Fetch ``store[table]``, growing it geometrically to ``min_size``."""
+        array = store.get(table)
+        if array is None:
+            array = np.full(max(min_size, 1024), _NO_WRITE, dtype=np.int64)
+            store[table] = array
+        elif array.size < min_size:
+            grown = np.full(max(min_size, 2 * array.size), _NO_WRITE, dtype=np.int64)
+            grown[: array.size] = array
+            store[table] = array = grown
+        return array
+
     def on_plan(self, cycle: int, table: int, plan: TablePlan) -> None:
         """Validate and register one table-plan produced at ``cycle``."""
+        if self.legacy:
+            self._on_plan_legacy(cycle, table, plan)
+            return
         collect_cycle = cycle + PLAN_TO_COLLECT
         insert_cycle = cycle + PLAN_TO_INSERT
         train_cycle = cycle + PLAN_TO_TRAIN
 
+        fill_slots = np.asarray(plan.fill_slots, dtype=np.int64).reshape(-1)
+        slots = np.asarray(plan.slots, dtype=np.int64).reshape(-1)
+        miss_ids = np.asarray(plan.miss_ids, dtype=np.int64).reshape(-1)
+        evicted = np.asarray(plan.evicted_ids, dtype=np.int64).reshape(-1)
+
+        max_slot = max(fill_slots.max(initial=-1), slots.max(initial=-1))
+        slot_writes = self._grown(self._slot_write_cycles, table, int(max_slot) + 1)
+
         # RAW-2/3: a victim slot read at [Collect] must have no in-flight
         # write scheduled at or after the read.
+        if fill_slots.size:
+            pending = slot_writes[fill_slots]
+            for i in np.flatnonzero(pending >= collect_cycle):
+                self._flag(
+                    f"RAW-2/3: slot {int(fill_slots[i])} of table {table} "
+                    f"chosen as victim (read at cycle {collect_cycle}) "
+                    f"while an in-flight batch writes it at cycle "
+                    f"{int(pending[i])}"
+                )
+
+        # RAW-4: a missed ID read from the CPU table at [Collect] must not
+        # have a write-back landing at or after the read.
+        writebacks: Optional[np.ndarray] = None
+        if miss_ids.size or evicted.size:
+            max_row = max(miss_ids.max(initial=-1), evicted.max(initial=-1))
+            writebacks = self._grown(self._writeback_cycles, table, int(max_row) + 1)
+        if miss_ids.size:
+            pending = writebacks[miss_ids]
+            for i in np.flatnonzero(pending >= collect_cycle):
+                self._flag(
+                    f"RAW-4: row {int(miss_ids[i])} of table {table} read "
+                    f"from the CPU table at cycle {collect_cycle} while its "
+                    f"write-back lands at cycle {int(pending[i])}"
+                )
+
+        # Register this batch's future writes.  Fill slots are a subset of
+        # the plan's slots, so the elementwise max leaves them at the later
+        # [Train] write cycle, matching the legacy bookkeeping.
+        if fill_slots.size:
+            slot_writes[fill_slots] = insert_cycle
+        if slots.size:
+            slot_writes[slots] = np.maximum(slot_writes[slots], train_cycle)
+        if evicted.size:
+            dirty = evicted[: fill_slots.size]
+            dirty = dirty[dirty != EMPTY]
+            if dirty.size:
+                writebacks[dirty] = insert_cycle
+
+    def _on_plan_legacy(self, cycle: int, table: int, plan: TablePlan) -> None:
+        """Original dict-based bookkeeping (equivalence-test oracle)."""
+        collect_cycle = cycle + PLAN_TO_COLLECT
+        insert_cycle = cycle + PLAN_TO_INSERT
+        train_cycle = cycle + PLAN_TO_TRAIN
+
         for slot in plan.fill_slots:
             pending = self._pending_slot_writes.get((table, int(slot)))
             if pending is not None and pending >= collect_cycle:
@@ -128,8 +215,6 @@ class HazardMonitor:
                     f"in-flight batch writes it at cycle {pending}"
                 )
 
-        # RAW-4: a missed ID read from the CPU table at [Collect] must not
-        # have a write-back landing at or after the read.
         for row in plan.miss_ids:
             pending = self._pending_writebacks.get((table, int(row)))
             if pending is not None and pending >= collect_cycle:
@@ -139,7 +224,6 @@ class HazardMonitor:
                     f"write-back lands at cycle {pending}"
                 )
 
-        # Register this batch's future writes.
         for slot in plan.fill_slots:
             self._pending_slot_writes[(table, int(slot))] = insert_cycle
         for slot in plan.slots:
@@ -152,7 +236,14 @@ class HazardMonitor:
                 self._pending_writebacks[(table, int(evicted))] = insert_cycle
 
     def on_cycle_end(self, cycle: int) -> None:
-        """Retire writes that have now happened."""
+        """Retire writes that have now happened.
+
+        The vectorised implementation retires lazily (pending cycles in the
+        past never flag), so this is a no-op there; the legacy oracle prunes
+        its dicts eagerly.
+        """
+        if not self.legacy:
+            return
         self._pending_slot_writes = {
             k: v for k, v in self._pending_slot_writes.items() if v > cycle
         }
@@ -203,6 +294,13 @@ class ScratchPipePipeline:
         future_window: How many upcoming batches [Plan] protects (2 in the
             paper: the [Insert]-to-[Collect] distance).
         monitor: Optional hazard monitor.
+        unique_cache: Plan from each batch's cached per-table sorted-unique
+            ID sets (computed once per batch, reused by its own Plan and by
+            the future windows of the two preceding Plans) instead of
+            re-``np.unique``-ing the raw lookup arrays per table per cycle.
+            Produces bit-identical plans; ``False`` reproduces the original
+            per-cycle recomputation and exists for the equivalence tests
+            and the perf harness's before/after comparison.
     """
 
     config: ModelConfig
@@ -212,6 +310,7 @@ class ScratchPipePipeline:
     trainer: Optional[PipelineTrainer] = None
     future_window: int = 2
     monitor: Optional[HazardMonitor] = None
+    unique_cache: bool = True
 
     def __post_init__(self) -> None:
         if len(self.scratchpads) != self.config.num_tables:
@@ -248,13 +347,34 @@ class ScratchPipePipeline:
             index = record.batch.index + offset
             if index < n:
                 future_batches.append(self._get_batch(index))
+        batch = record.batch
         for table, scratchpad in enumerate(self.scratchpads):
             future_ids: Optional[np.ndarray] = None
-            if future_batches:
-                future_ids = np.concatenate(
-                    [b.table_ids(table) for b in future_batches]
+            if self.unique_cache:
+                # Each batch's sorted-unique IDs are computed once (cached
+                # on the MiniBatch) and shared between its own Plan and the
+                # future windows of the two preceding Plans.  The future
+                # concatenation may repeat IDs across batches; the Plan
+                # stage only ORs their slots into a mask, so deduplicating
+                # again would change nothing.
+                if future_batches:
+                    if len(future_batches) == 1:
+                        future_ids = future_batches[0].unique_table_ids(table)
+                    else:
+                        future_ids = np.concatenate(
+                            [b.unique_table_ids(table) for b in future_batches]
+                        )
+                plan = scratchpad.plan_batch(
+                    batch.unique_table_ids(table),
+                    future_ids,
+                    presorted_unique=True,
                 )
-            plan = scratchpad.plan_batch(record.batch.sparse_ids[table], future_ids)
+            else:
+                if future_batches:
+                    future_ids = np.concatenate(
+                        [b.table_ids(table) for b in future_batches]
+                    )
+                plan = scratchpad.plan_batch(batch.sparse_ids[table], future_ids)
             record.plans.append(plan)
             if self.monitor is not None:
                 self.monitor.on_plan(cycle, table, plan)

@@ -122,7 +122,11 @@ class GpuScratchpad:
     # [Plan] stage logic (Algorithm 1, vectorised, with future window)
     # ------------------------------------------------------------------
     def plan_batch(
-        self, batch_ids: np.ndarray, future_ids: Optional[np.ndarray] = None
+        self,
+        batch_ids: np.ndarray,
+        future_ids: Optional[np.ndarray] = None,
+        *,
+        presorted_unique: bool = False,
     ) -> TablePlan:
         """Run the Plan stage for one table of one mini-batch.
 
@@ -132,6 +136,12 @@ class GpuScratchpad:
             future_ids: Union of the lookup IDs of the next
                 ``future_window`` batches (the lookahead that removes
                 RAW-4); ``None`` or empty disables future protection.
+            presorted_unique: Fast path for the pipelined caller:
+                ``batch_ids`` is already the sorted-unique int64 ID set of
+                the batch (``MiniBatch.unique_table_ids``) and ``future_ids``
+                is a concatenation of such per-batch sorted-unique sets.
+                Skips the per-call ``np.unique`` passes; the resulting plan
+                is bit-identical to the slow path's.
 
         Returns:
             A :class:`TablePlan` that later stages consume.
@@ -145,8 +155,13 @@ class GpuScratchpad:
         self.hold_mask.advance()
         self._plan_cycle += 1
 
-        unique_ids = np.unique(np.asarray(batch_ids, dtype=np.int64).reshape(-1))
-        slots, hit_mask = self.hit_map.query(unique_ids)
+        if presorted_unique:
+            unique_ids = batch_ids
+        else:
+            unique_ids = np.unique(
+                np.asarray(batch_ids, dtype=np.int64).reshape(-1)
+            )
+        slots, hit_mask = self.hit_map.query(unique_ids, presorted_unique=True)
 
         # Protect this batch's hits for the whole sliding window.
         hit_slots = slots[hit_mask]
@@ -156,9 +171,18 @@ class GpuScratchpad:
         # (removes RAW-4: never evict what an upcoming batch expects cached).
         transient = np.zeros(self.num_slots, dtype=bool)
         if future_ids is not None and len(future_ids) > 0:
-            future_slots, future_hits = self.hit_map.query(
-                np.unique(np.asarray(future_ids, dtype=np.int64).reshape(-1))
-            )
+            if presorted_unique:
+                # Duplicates across the concatenated per-batch unique sets
+                # only re-set transient bits — deduplication is pointless.
+                future_keys = future_ids
+            else:
+                future_keys = np.unique(
+                    np.asarray(future_ids, dtype=np.int64).reshape(-1)
+                )
+            # The concatenation is not globally sorted, so take the full
+            # min/max range validation here (O(n), trivial next to the
+            # np.unique sort this path avoids).
+            future_slots, future_hits = self.hit_map.query(future_keys)
             transient[future_slots[future_hits]] = True
 
         miss_ids = unique_ids[~hit_mask]

@@ -96,8 +96,13 @@ class StrawmanCache:
         """Process one mini-batch through all steps of Figure 8."""
         plans: List[TablePlan] = []
         for table, scratchpad in enumerate(self.scratchpads):
-            # [Query]: sequential execution needs no future lookahead.
-            plans.append(scratchpad.plan_batch(batch.sparse_ids[table], None))
+            # [Query]: sequential execution needs no future lookahead; the
+            # batch's cached sorted-unique IDs feed the plan directly.
+            plans.append(
+                scratchpad.plan_batch(
+                    batch.unique_table_ids(table), None, presorted_unique=True
+                )
+            )
         if self._functional:
             self._exchange_and_insert(plans)
         if self.trainer is not None:

@@ -50,28 +50,34 @@ def _pipelined_cycle_times(
     would otherwise look artificially cheap — on a long-running job every
     retiring batch shares the pipe with five younger ones — so drain-cycle
     batches are attributed the mean fully-occupied (steady-state) cycle.
+
+    Implemented as a sliding-window max: stage ``s`` of batch ``b`` occupies
+    cycle ``b + offset(s)``, so laying each stage column into a
+    cycle-indexed matrix shifted by its offset turns the per-cycle
+    "max over occupied stages" into one row-wise ``max`` over the matrix.
     """
     num_batches = len(stage_times)
-    cycle_of_batch = [0.0] * num_batches
-    fully_occupied: List[float] = []
-    last_cycle = num_batches - 1 + _STAGE_OFFSETS["train"]
-    for cycle in range(last_cycle + 1):
-        occupied = []
-        for stage, offset in _STAGE_OFFSETS.items():
-            batch_index = cycle - offset
-            if 0 <= batch_index < num_batches:
-                occupied.append(stage_times[batch_index][stage])
-        if not occupied:
-            continue
-        cycle_time = max(occupied) + sync
-        if len(occupied) == len(_STAGE_OFFSETS):
-            fully_occupied.append(cycle_time)
-        train_index = cycle - _STAGE_OFFSETS["train"]
-        if 0 <= train_index < num_batches:
-            cycle_of_batch[train_index] = cycle_time
-    if fully_occupied:
-        steady = sum(fully_occupied) / len(fully_occupied)
-        drain_start = num_batches - (_STAGE_OFFSETS["train"] - 1)
+    if num_batches == 0:
+        return []
+    stages = tuple(_STAGE_OFFSETS)
+    times = np.array(
+        [[st[stage] for stage in stages] for st in stage_times], dtype=np.float64
+    )
+    train_offset = _STAGE_OFFSETS["train"]
+    last_cycle = num_batches - 1 + train_offset
+    shifted = np.full((last_cycle + 1, len(stages)), -np.inf)
+    for column, stage in enumerate(stages):
+        offset = _STAGE_OFFSETS[stage]
+        shifted[offset : offset + num_batches, column] = times[:, column]
+    occupied = shifted != -np.inf
+    cycle_times = shifted.max(axis=1) + sync
+    cycle_of_batch = cycle_times[train_offset : train_offset + num_batches].tolist()
+    fully_occupied = cycle_times[occupied.sum(axis=1) == len(stages)]
+    if fully_occupied.size:
+        # Sequential sum keeps the mean bit-identical to the original
+        # accumulate-in-cycle-order loop.
+        steady = sum(fully_occupied.tolist()) / fully_occupied.size
+        drain_start = num_batches - (train_offset - 1)
         for batch_index in range(max(0, drain_start), num_batches):
             cycle_of_batch[batch_index] = steady
     return cycle_of_batch
@@ -122,9 +128,19 @@ class ScratchPipeSystem(TrainingSystem):
         self.future_window = future_window
 
     def simulate_cache(
-        self, dataset_batches: object, num_batches: Optional[int] = None
+        self,
+        dataset_batches: object,
+        num_batches: Optional[int] = None,
+        monitor: Optional[HazardMonitor] = None,
     ) -> List[BatchCacheStats]:
-        """Metadata-only pipeline run returning per-batch cache statistics."""
+        """Metadata-only pipeline run returning per-batch cache statistics.
+
+        Args:
+            dataset_batches: Random-access batch source.
+            num_batches: Prefix length (default: whole trace).
+            monitor: Optional :class:`HazardMonitor` to attach, verifying
+                hazard freedom alongside the statistics run.
+        """
         pipeline = ScratchPipePipeline(
             config=self.config,
             scratchpads=make_scratchpads(
@@ -132,6 +148,7 @@ class ScratchPipeSystem(TrainingSystem):
             ),
             dataset_batches=dataset_batches,
             future_window=self.future_window,
+            monitor=monitor,
         )
         return pipeline.run(num_batches).cache_stats
 
@@ -213,7 +230,16 @@ class ScratchPipeTrainer:
             unique_ids, grads = coalesce_gradients(
                 ids.reshape(-1), duplicated.reshape(-1, cfg.embedding_dim)
             )
-            # coalesce returns sorted unique IDs == the plan's unique_ids.
+            # The gradient scatter below indexes Storage through the plan's
+            # slots, so the coalesced IDs must be exactly the plan's
+            # unique_ids — a mismatched plan would silently scatter
+            # gradients into the wrong rows.
+            if not np.array_equal(unique_ids, plans[t].unique_ids):
+                raise AssertionError(
+                    f"plan/batch mismatch for table {t}: coalesced gradient "
+                    "IDs differ from the plan's unique_ids — the plan does "
+                    "not belong to this batch"
+                )
             slots = plans[t].slots
             updated = scratchpads[t].read_slots(slots) - self.optimizer.lr * grads
             scratchpads[t].write_slots(slots, updated)

@@ -1,0 +1,66 @@
+"""Tests for the parallel sweep grid runner (repro.analysis.sweep)."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup
+from repro.analysis.sweep import METRICS, SYSTEMS, SweepPoint, run_grid, run_point
+from repro.model.config import tiny_config
+
+
+@pytest.fixture
+def setup():
+    cfg = tiny_config(
+        rows_per_table=20_000, batch_size=8, lookups_per_table=2, num_tables=2
+    )
+    return ExperimentSetup(config=cfg, num_batches=10, seed=1)
+
+
+def small_grid(setup):
+    points = []
+    for locality in ("random", "high"):
+        points.append(setup.point("hybrid", locality, 0.0, 0))
+        points.append(setup.point("static_cache", locality, 0.05, 0))
+        points.append(setup.point("strawman", locality, 0.05, 2))
+        points.append(setup.point("scratchpipe", locality, 0.05, 2))
+    return points
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self, setup):
+        with pytest.raises(ValueError, match="unknown system"):
+            setup.point("warp_drive", "random", 0.05, 0)
+
+    def test_unknown_metric_rejected(self, setup):
+        with pytest.raises(ValueError, match="unknown metric"):
+            setup.point("hybrid", "random", 0.0, 0, metric="p99")
+
+    def test_zero_workers_rejected(self, setup):
+        with pytest.raises(ValueError, match="workers"):
+            run_grid(small_grid(setup), workers=0)
+
+    def test_enums_cover_api(self):
+        assert set(SYSTEMS) == {"hybrid", "static_cache", "strawman", "scratchpipe"}
+        assert "mean_latency" in METRICS and "stage_means" in METRICS
+
+
+class TestExecution:
+    def test_run_point_metrics(self, setup):
+        latency = run_point(setup.point("scratchpipe", "random", 0.05, 2))
+        assert latency > 0
+        stages = run_point(
+            setup.point("scratchpipe", "random", 0.05, 2, "stage_means")
+        )
+        assert set(stages) >= {"plan", "collect", "train"}
+
+    def test_grid_preserves_order(self, setup):
+        points = small_grid(setup)
+        results = run_grid(points, workers=1)
+        assert len(results) == len(points)
+        for point, value in zip(points, results):
+            assert value == run_point(point)
+
+    def test_parallel_matches_serial(self, setup):
+        points = small_grid(setup)
+        serial = run_grid(points, workers=1)
+        parallel = run_grid(points, workers=2)
+        assert serial == parallel

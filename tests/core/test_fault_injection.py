@@ -51,10 +51,10 @@ class TestCorruptedWindows:
 
         original_plan = pads[0].plan_batch
 
-        def sabotaged_plan(batch_ids, future_ids=None):
+        def sabotaged_plan(batch_ids, future_ids=None, **kwargs):
             # Wipe the window protection before every plan.
             pads[0].hold_mask._bits[:] = 0
-            return original_plan(batch_ids, future_ids)
+            return original_plan(batch_ids, future_ids, **kwargs)
 
         pads[0].plan_batch = sabotaged_plan
         with pytest.raises(HazardError):

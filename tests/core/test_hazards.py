@@ -118,12 +118,11 @@ class TestNecessity:
 
 
 class TestMonitorMechanics:
-    def test_retirement_clears_pending_writes(self):
-        monitor = HazardMonitor(strict=False)
-        # After on_cycle_end past the write cycle, the pending maps drain.
+    @staticmethod
+    def _one_slot_plan():
         from repro.core.scratchpad import TablePlan
 
-        plan = TablePlan(
+        return TablePlan(
             unique_ids=np.array([7]),
             slots=np.array([0]),
             hit_mask=np.array([False]),
@@ -131,9 +130,48 @@ class TestMonitorMechanics:
             fill_slots=np.array([0]),
             evicted_ids=np.array([5]),
         )
-        monitor.on_plan(cycle=1, table=0, plan=plan)
+
+    def test_legacy_retirement_clears_pending_writes(self):
+        monitor = HazardMonitor(strict=False, legacy=True)
+        # After on_cycle_end past the write cycle, the pending maps drain.
+        monitor.on_plan(cycle=1, table=0, plan=self._one_slot_plan())
         assert monitor._pending_slot_writes
         assert monitor._pending_writebacks
         monitor.on_cycle_end(10)
         assert not monitor._pending_slot_writes
         assert not monitor._pending_writebacks
+
+    def test_vectorised_retirement_is_lazy(self):
+        # The vectorised monitor never prunes; a write cycle in the past
+        # simply stops comparing as pending, so a later plan touching the
+        # same slot/row is clean.
+        monitor = HazardMonitor(strict=True)
+        monitor.on_plan(cycle=1, table=0, plan=self._one_slot_plan())
+        monitor.on_cycle_end(10)  # no-op
+        monitor.on_plan(cycle=11, table=0, plan=self._one_slot_plan())
+        assert monitor.violations == []
+
+    def test_vectorised_flags_like_legacy_on_reuse(self):
+        # Re-planning the same fill slot and missed row one cycle later is
+        # inside both pending windows: both implementations flag RAW-2/3
+        # (slot 0 written at [Train]) and RAW-4 (row 5 written back).
+        plan = self._one_slot_plan()
+        seen = {}
+        for legacy in (False, True):
+            monitor = HazardMonitor(strict=False, legacy=legacy)
+            monitor.on_plan(cycle=1, table=0, plan=plan)
+            second = self._one_slot_plan()
+            second = type(second)(
+                unique_ids=np.array([5]),
+                slots=np.array([0]),
+                hit_mask=np.array([False]),
+                miss_ids=np.array([5]),
+                fill_slots=np.array([0]),
+                evicted_ids=np.array([7]),
+            )
+            monitor.on_cycle_end(1)
+            monitor.on_plan(cycle=2, table=0, plan=second)
+            seen[legacy] = monitor.violations
+        assert seen[False] == seen[True]
+        assert any("RAW-2/3" in v for v in seen[False])
+        assert any("RAW-4" in v for v in seen[False])

@@ -30,6 +30,34 @@ class TestQuery:
         assert not hits.any()
         assert (slots == EMPTY).all()
 
+    def test_negative_key_rejected(self, hitmap):
+        # Regression: negative keys used to wrap-index the dense map and
+        # silently return the slot cached for the *end* of the ID universe.
+        with pytest.raises(ValueError, match="out of range"):
+            hitmap.query(np.array([1, -3]))
+
+    def test_too_large_key_rejected(self, hitmap):
+        with pytest.raises(ValueError, match="out of range"):
+            hitmap.query(np.array([0, 100]))
+
+    def test_presorted_fast_path_checks_bounds(self, hitmap):
+        with pytest.raises(ValueError, match="out of range"):
+            hitmap.query(np.array([-1, 5]), presorted_unique=True)
+        with pytest.raises(ValueError, match="out of range"):
+            hitmap.query(np.array([5, 100]), presorted_unique=True)
+
+    def test_presorted_fast_path_matches_slow_path(self, hitmap):
+        hitmap.assign(42, 2)
+        keys = np.array([7, 42, 99], dtype=np.int64)
+        slow = hitmap.query(keys)
+        fast = hitmap.query(keys, presorted_unique=True)
+        assert np.array_equal(slow[0], fast[0])
+        assert np.array_equal(slow[1], fast[1])
+
+    def test_empty_query_ok(self, hitmap):
+        slots, hits = hitmap.query(np.empty(0, dtype=np.int64))
+        assert slots.size == 0 and hits.size == 0
+
     def test_hit_after_assign(self, hitmap):
         hitmap.assign(42, 2)
         slots, hits = hitmap.query(np.array([42, 43]))

@@ -100,3 +100,60 @@ class TestCacheSimulation:
         # Both valid runs; totals conserved.
         for stats in (lru_stats, rnd_stats):
             assert all(s.hits + s.misses == s.unique_ids for s in stats)
+
+
+class TestTrainerPlanInvariant:
+    def test_mismatched_plan_raises(self):
+        """Training a batch against another batch's plan must fail loudly
+        (the gradient scatter would otherwise hit the wrong Storage rows)."""
+        from repro.model.dlrm import DenseNetwork
+        from repro.systems.scratchpipe_system import ScratchPipeTrainer
+
+        cfg = tiny_config(rows_per_table=50, batch_size=2,
+                          lookups_per_table=2, num_tables=1)
+        pad = make_scratchpads(cfg, num_slots=32, with_storage=True)[0]
+        # Plan covers IDs {1, 2, 3, 4}; the trained batch gathers only
+        # {1, 2}, so every gather resolves but the coalesced gradient IDs
+        # differ from the plan's unique_ids.
+        plan = pad.plan_batch(np.array([1, 2, 3, 4]))
+        from repro.data.trace import MiniBatch
+
+        batch = MiniBatch(
+            index=0,
+            sparse_ids=np.array([[[1, 2], [1, 2]]], dtype=np.int64),
+            dense=np.zeros((2, cfg.num_dense_features), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.float32),
+        )
+        trainer = ScratchPipeTrainer(
+            config=cfg,
+            dense_network=DenseNetwork.initialise(
+                cfg, np.random.default_rng(0)
+            ),
+        )
+        with pytest.raises(AssertionError, match="plan/batch mismatch"):
+            trainer.train(batch, [plan], [pad])
+
+    def test_matching_plan_trains(self):
+        from repro.model.dlrm import DenseNetwork
+        from repro.data.trace import MiniBatch
+        from repro.systems.scratchpipe_system import ScratchPipeTrainer
+
+        cfg = tiny_config(rows_per_table=50, batch_size=2,
+                          lookups_per_table=2, num_tables=1)
+        pad = make_scratchpads(cfg, num_slots=32, with_storage=True)[0]
+        sparse_ids = np.array([[[1, 2], [3, 4]]], dtype=np.int64)
+        plan = pad.plan_batch(sparse_ids[0].reshape(-1))
+        batch = MiniBatch(
+            index=0,
+            sparse_ids=sparse_ids,
+            dense=np.zeros((2, cfg.num_dense_features), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.float32),
+        )
+        trainer = ScratchPipeTrainer(
+            config=cfg,
+            dense_network=DenseNetwork.initialise(
+                cfg, np.random.default_rng(0)
+            ),
+        )
+        loss = trainer.train(batch, [plan], [pad])
+        assert np.isfinite(loss)
