@@ -14,18 +14,36 @@ Two properties make the parallel path safe:
   ``Executor.map`` preserves submission order, so the assembled results are
   identical for any worker count.
 * **Cheap dispatch** — descriptors carry no arrays; each worker memoises
-  the materialised traces it has built, and contiguous chunking keeps the
-  points of one trace in one worker.
+  the materialised traces *and system instances* it has built, and
+  contiguous chunking keeps the points of one trace in one worker.
+
+Memoisation details:
+
+* Systems are reused across the grid points that share their construction
+  parameters — the dynamic-cache systems reset their scratchpads in place
+  (one dense ``rows_per_table`` Hit-Map allocation per worker per
+  (system, scale) instead of ~320 MB of fresh index per grid point at paper
+  scale).
+* When ``REPRO_TRACE_CACHE`` names a directory, materialised traces are
+  also memoised to disk as ``.npz`` archives (:mod:`repro.data.io`), so a
+  worker pool regenerates each synthetic trace at most once across
+  processes *and* across sweeps.  ``run_grid`` gives its workers a shared
+  per-grid temporary cache automatically (deleted when the grid
+  finishes); the serial path — and anything persistent across runs —
+  touches the disk only when the variable is set explicitly.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, List, Optional, Sequence
 
+from repro.data.io import materialise_cached
 from repro.data.trace import MaterialisedDataset, make_dataset
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
@@ -40,6 +58,9 @@ METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means")
 
 #: System names the grid runner can instantiate.
 SYSTEMS = ("hybrid", "static_cache", "strawman", "scratchpipe")
+
+#: Environment variable naming the on-disk trace cache directory.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
 
 @dataclass(frozen=True)
@@ -87,24 +108,51 @@ class SweepPoint:
 def _cached_trace(
     config: ModelConfig, locality: str, seed: int, num_batches: int
 ) -> MaterialisedDataset:
-    """Materialise (and memoise, per process) one benchmark trace."""
+    """Materialise (and memoise, per process) one benchmark trace.
+
+    With :data:`TRACE_CACHE_ENV` set, the materialised batches are also
+    round-tripped through an on-disk archive shared by every process.
+    """
+    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    if cache_dir:
+        return materialise_cached(config, locality, seed, num_batches, cache_dir)
     return MaterialisedDataset(
         make_dataset(config, locality, seed=seed, num_batches=num_batches)
     )
 
 
-def _build_system(point: SweepPoint) -> TrainingSystem:
-    if point.system == "hybrid":
-        return HybridSystem(point.config, point.hardware)
-    if point.system == "static_cache":
-        return StaticCacheSystem(point.config, point.hardware, point.cache_fraction)
-    if point.system == "strawman":
-        return StrawmanSystem(point.config, point.hardware, point.cache_fraction)
+@lru_cache(maxsize=8)
+def _cached_system(
+    system: str,
+    config: ModelConfig,
+    hardware: HardwareSpec,
+    cache_fraction: float,
+    policy_name: str,
+) -> TrainingSystem:
+    """Build (and memoise, per process) one system instance.
+
+    The dynamic-cache systems reset their scratchpads between ``run_trace``
+    calls, so reuse across grid points is value-identical to building fresh
+    instances while allocating each dense Hit-Map index once per worker.
+    """
+    if system == "hybrid":
+        return HybridSystem(config, hardware)
+    if system == "static_cache":
+        return StaticCacheSystem(config, hardware, cache_fraction)
+    if system == "strawman":
+        return StrawmanSystem(config, hardware, cache_fraction)
     return ScratchPipeSystem(
+        config, hardware, cache_fraction, policy_name=policy_name
+    )
+
+
+def _build_system(point: SweepPoint) -> TrainingSystem:
+    return _cached_system(
+        point.system,
         point.config,
         point.hardware,
         point.cache_fraction,
-        policy_name=point.policy_name,
+        point.policy_name,
     )
 
 
@@ -115,6 +163,11 @@ def run_point(point: SweepPoint) -> Any:
     )
     result = _build_system(point).run_trace(trace)
     return getattr(result, point.metric)(warmup=point.warmup)
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    if cache_dir:
+        os.environ[TRACE_CACHE_ENV] = cache_dir
 
 
 def run_grid(
@@ -138,7 +191,25 @@ def run_grid(
         return [run_point(point) for point in points]
     workers = min(workers, len(points))
     # Contiguous chunks keep the points sharing a trace in one worker, so
-    # each worker materialises each of its traces once.
+    # each worker materialises each of its traces once; the shared on-disk
+    # cache deduplicates trace generation across workers.  With no
+    # user-provided cache directory the cache lives only for this grid (a
+    # fresh temp dir, deleted afterwards) — a persistent cache is keyed
+    # only by trace parameters, so surviving across code changes would
+    # silently undermine the workers>1 == workers=1 guarantee; users who
+    # set REPRO_TRACE_CACHE own that invalidation themselves.
     chunksize = -(-len(points) // workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_point, points, chunksize=chunksize))
+    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    ephemeral = None
+    if not cache_dir:
+        ephemeral = cache_dir = tempfile.mkdtemp(prefix="repro-trace-cache-")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(cache_dir,),
+        ) as pool:
+            return list(pool.map(run_point, points, chunksize=chunksize))
+    finally:
+        if ephemeral is not None:
+            shutil.rmtree(ephemeral, ignore_errors=True)

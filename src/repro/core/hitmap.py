@@ -67,6 +67,15 @@ class HitMap:
         """Key cached in ``slot`` (``EMPTY`` if vacant)."""
         return int(self._key_of_slot[slot])
 
+    @property
+    def key_of_slot_array(self) -> np.ndarray:
+        """The dense slot->key index (``EMPTY`` where vacant), uncopied.
+
+        Exposed for the Plan stage's transient-exclusion fast path; callers
+        must treat the array as read-only.
+        """
+        return self._key_of_slot
+
     def query(
         self, keys: np.ndarray, *, presorted_unique: bool = False
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -105,7 +114,36 @@ class HitMap:
         slots = self._slot_of_key[keys].astype(np.int64)
         return slots, slots != EMPTY
 
-    def assign_many(self, keys: np.ndarray, slots: np.ndarray) -> np.ndarray:
+    def slots_raw(
+        self, keys: np.ndarray, *, presorted_unique: bool = False
+    ) -> np.ndarray:
+        """Bare slot lookup: ``EMPTY`` (-1) where a key is uncached.
+
+        Skips the int64 cast and hit-mask computation of :meth:`query` —
+        the Plan stage's future-window lookahead only needs raw slot
+        indices to arm transient protection (``-1`` entries are inert
+        there).
+        """
+        if presorted_unique:
+            if keys.size and (keys[0] < 0 or keys[-1] >= self.num_rows):
+                raise ValueError(
+                    f"key out of range [0, {self.num_rows}): "
+                    f"[{int(keys[0])}, {int(keys[-1])}]"
+                )
+        else:
+            keys = np.asarray(keys, dtype=np.int64)
+            if keys.size and (
+                int(keys.min()) < 0 or int(keys.max()) >= self.num_rows
+            ):
+                raise ValueError(
+                    f"key out of range [0, {self.num_rows}): "
+                    f"min {int(keys.min())}, max {int(keys.max())}"
+                )
+        return self._slot_of_key[keys]
+
+    def assign_many(
+        self, keys: np.ndarray, slots: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """Install ``keys[i]`` in ``slots[i]``, returning the displaced keys.
 
         Displaced keys (``EMPTY`` where the slot was vacant) are removed
@@ -115,9 +153,15 @@ class HitMap:
         Args:
             keys: Unique, currently-uncached sparse IDs.
             slots: Distinct target slots (same length as ``keys``).
+            validate: Check the not-already-cached / slot-range invariants.
+                The [Plan] hot path passes ``False`` — its keys are the miss
+                subset of the query it just ran and its slots come straight
+                from the replacement policy, so the O(len(keys)) re-checks
+                are pure overhead there.
 
         Raises:
-            ValueError: On already-cached keys or out-of-range slots.
+            ValueError: On already-cached keys or out-of-range slots
+                (only with ``validate=True``).
         """
         keys = np.asarray(keys, dtype=np.int64)
         slots = np.asarray(slots, dtype=np.int64)
@@ -127,14 +171,20 @@ class HitMap:
             )
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
-        if (self._slot_of_key[keys] != EMPTY).any():
-            raise ValueError("some keys are already cached; query before assign")
-        if slots.min() < 0 or slots.max() >= self.num_slots:
-            raise ValueError(f"slot index out of range [0, {self.num_slots})")
-        displaced = self._key_of_slot[slots].copy()
+        if validate:
+            if (self._slot_of_key[keys] != EMPTY).any():
+                raise ValueError(
+                    "some keys are already cached; query before assign"
+                )
+            if slots.min() < 0 or slots.max() >= self.num_slots:
+                raise ValueError(f"slot index out of range [0, {self.num_slots})")
+        # Fancy indexing already yields a fresh array — safe to hand out.
+        displaced = self._key_of_slot[slots]
         valid = displaced != EMPTY
         self._slot_of_key[displaced[valid]] = EMPTY
-        self._slot_of_key[keys] = slots
+        # Pre-cast once: scattering int64 values into the int32 index would
+        # otherwise convert element by element.
+        self._slot_of_key[keys] = slots.astype(np.int32)
         self._key_of_slot[slots] = keys
         self._size += int(keys.size - valid.sum())
         return displaced
@@ -145,6 +195,19 @@ class HitMap:
             np.array([key], dtype=np.int64), np.array([slot], dtype=np.int64)
         )
         return int(displaced[0])
+
+    def reset(self) -> None:
+        """Empty the map without reallocating its dense index.
+
+        Clearing only the occupied entries keeps the cost O(num_slots)
+        rather than O(num_rows) — the whole point of reusing the map is
+        that the ``num_rows``-sized index (the dominant allocation at paper
+        scale) survives across runs.
+        """
+        occupied = self._key_of_slot != EMPTY
+        self._slot_of_key[self._key_of_slot[occupied]] = EMPTY
+        self._key_of_slot.fill(EMPTY)
+        self._size = 0
 
     def free_slot_mask(self) -> np.ndarray:
         """Boolean mask of vacant slots."""

@@ -1,28 +1,41 @@
 """The Hold mask: ScratchPipe's sliding-window hazard guard (Section IV-C/D).
 
-Each scratchpad Storage slot carries a small bitmask.  When a mini-batch is
-processed at [Plan], every slot the batch will use at [Train] gets a fresh
-hold bit; the mask shifts right by one each time a new batch enters [Plan].
-A slot is an eviction candidate only while its mask is zero — i.e. none of
-the mini-batches inside the sliding window asked to hold it.
+Each scratchpad Storage slot is protected while any mini-batch inside the
+sliding window asked to hold it.  When a mini-batch is processed at [Plan],
+every slot the batch will use at [Train] gets a fresh hold; the window
+slides by one each time a new batch enters [Plan].  A slot is an eviction
+candidate only while no mini-batch inside the sliding window holds it.
 
-Bit-lifetime convention
------------------------
+Hold-lifetime convention
+------------------------
 ``past_window = W`` means a hold set at batch *j*'s Plan remains visible
 during the Plans of batches *j+1 .. j+W* (and vanishes at *j+W+1*).  The
 paper requires W = 3: when batch *i* plans, the batches at [Collect],
 [Exchange] and [Insert] (i.e. *i-1*, *i-2*, *i-3*) must keep their slots —
 batch *i-3* is still going to write those slots at [Parameter Update] in
-the very cycle batch *i* reads its victims at [Collect] (RAW-2).  We set the
-fresh bit at position ``W`` (value ``1 << W``) *after* advancing, so it
-survives exactly W subsequent advances.  (Algorithm 1 in the paper sets
-``2 ** (width-1)`` with width 3, which protects only two past batches; its
-caption notes the pseudo-code is simplified.  The deviation is deliberate
-and covered by the hazard-freedom property tests.)
+the very cycle batch *i* reads its victims at [Collect] (RAW-2).
+(Algorithm 1 in the paper sets ``2 ** (width-1)`` with width 3, which
+protects only two past batches; its caption notes the pseudo-code is
+simplified.  The deviation is deliberate and covered by the hazard-freedom
+property tests.)
+
+Representation
+--------------
+The seed implementation kept a literal per-slot bitmask and right-shifted
+*every* slot's bits on each ``advance()`` — O(num_slots) per pipeline cycle
+even when nothing changed.  This version stores a per-slot *release stamp*
+(version counter): ``hold(slots)`` writes ``clock + W + 1`` into the
+touched slots and ``advance()`` just increments the clock, so the cost of
+window maintenance is O(slots actually held) rather than O(num_slots).  A
+slot is held exactly while ``release_at[slot] > clock`` — the same
+semantics as "any bit still set" in the shifted-bitmask form, because only
+the *latest* hold of a slot ever decides when it becomes eligible again.
+Replacement policies test candidate eligibility with O(1) stamp compares
+instead of consuming a full boolean rescan of the slot array.
 
 The *future* window (next two batches) is handled transiently by the Plan
-stage — future batches have not set persistent bits yet, so Plan computes
-their held slots on the fly from the lookahead IDs (see ``core.plan``).
+stage — future batches have not set persistent holds yet, so Plan computes
+their held slots on the fly from the lookahead IDs (see ``core.scratchpad``).
 """
 
 from __future__ import annotations
@@ -34,7 +47,7 @@ import numpy as np
 
 @dataclass
 class HoldMask:
-    """Per-slot circular hold bitmask.
+    """Per-slot sliding-window hold tracker.
 
     Attributes:
         num_slots: Number of Storage slots tracked.
@@ -44,7 +57,8 @@ class HoldMask:
 
     num_slots: int
     past_window: int = 3
-    _bits: np.ndarray = field(init=False, repr=False)
+    _release_at: np.ndarray = field(init=False, repr=False)
+    _clock: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
@@ -53,16 +67,32 @@ class HoldMask:
             raise ValueError(
                 f"past_window must be in [0, 62], got {self.past_window}"
             )
-        self._bits = np.zeros(self.num_slots, dtype=np.uint64)
+        # int32: the clock advances once per mini-batch, far below 2**31.
+        self._release_at = np.zeros(self.num_slots, dtype=np.int32)
 
     @property
     def fresh_bit(self) -> int:
-        """Bit value a newly planned batch sets on its slots."""
+        """Bit value a newly planned batch sets on its slots (in the
+        canonical bitmask form returned by :meth:`raw_bits`)."""
         return 1 << self.past_window
 
+    @property
+    def clock(self) -> int:
+        """Number of ``advance()`` calls so far (one per pipeline cycle)."""
+        return self._clock
+
+    @property
+    def release_stamps(self) -> np.ndarray:
+        """Per-slot release stamps: slot ``s`` is held while
+        ``release_stamps[s] > clock``.  Exposed (without copying) for the
+        incremental replacement policies' O(1) eligibility checks; callers
+        must treat the array as read-only.
+        """
+        return self._release_at
+
     def advance(self) -> None:
-        """Slide the window by one mini-batch (right-shift every mask)."""
-        self._bits >>= np.uint64(1)
+        """Slide the window by one mini-batch."""
+        self._clock += 1
 
     def hold(self, slots: np.ndarray) -> None:
         """Mark ``slots`` as used by the batch currently at [Plan]."""
@@ -71,24 +101,45 @@ class HoldMask:
             return
         if slots.min() < 0 or slots.max() >= self.num_slots:
             raise ValueError("slot index out of range")
-        self._bits[slots] |= np.uint64(self.fresh_bit)
+        self._release_at[slots] = self._clock + self.past_window + 1
+
+    def hold_trusted(self, slots: np.ndarray) -> None:
+        """:meth:`hold` minus input validation, for internal hot paths
+        whose callers guarantee in-range int64 slot indices."""
+        if slots.size:
+            self._release_at[slots] = self._clock + self.past_window + 1
 
     def is_held(self, slots: np.ndarray) -> np.ndarray:
         """Boolean array: True where a slot is inside the sliding window."""
-        return self._bits[np.asarray(slots, dtype=np.int64)] != 0
+        return self._release_at[np.asarray(slots, dtype=np.int64)] > self._clock
 
     def held_mask(self) -> np.ndarray:
         """Boolean mask over all slots: True = protected from eviction."""
-        return self._bits != 0
+        return self._release_at > self._clock
 
     def eligible_mask(self) -> np.ndarray:
         """Boolean mask over all slots: True = eviction candidate."""
-        return self._bits == 0
+        return self._release_at <= self._clock
 
     def held_count(self) -> int:
         """Number of currently protected slots."""
-        return int(np.count_nonzero(self._bits))
+        return int(np.count_nonzero(self._release_at > self._clock))
 
     def raw_bits(self) -> np.ndarray:
-        """Copy of the underlying bit array (for tests/inspection)."""
-        return self._bits.copy()
+        """Canonical bitmask form of the hold state (for tests/inspection).
+
+        A slot whose hold survives ``r`` more advances reports ``1 << (r-1)``
+        — the single bit the latest hold would occupy in the seed's shifted
+        bitmask (earlier, already-superseded holds carried no information:
+        only the latest hold decides eligibility).
+        """
+        remaining = np.maximum(self._release_at - self._clock, 0)
+        bits = np.zeros(self.num_slots, dtype=np.uint64)
+        held = remaining > 0
+        bits[held] = np.uint64(1) << (remaining[held] - 1).astype(np.uint64)
+        return bits
+
+    def reset(self) -> None:
+        """Forget every hold, returning to the freshly constructed state."""
+        self._release_at.fill(0)
+        self._clock = 0

@@ -89,8 +89,10 @@ class HazardError(AssertionError):
 
 
 #: "No write pending" sentinel for the vectorised pending-cycle arrays;
-#: any real write cycle compares greater.
-_NO_WRITE = np.iinfo(np.int64).min
+#: any real write cycle compares greater.  Cycle counts fit int32 with room
+#: to spare, and halving the element width halves the random-access traffic
+#: on these (row-count-sized) arrays.
+_NO_WRITE = np.iinfo(np.int32).min
 
 
 @dataclass
@@ -135,10 +137,10 @@ class HazardMonitor:
         """Fetch ``store[table]``, growing it geometrically to ``min_size``."""
         array = store.get(table)
         if array is None:
-            array = np.full(max(min_size, 1024), _NO_WRITE, dtype=np.int64)
+            array = np.full(max(min_size, 1024), _NO_WRITE, dtype=np.int32)
             store[table] = array
         elif array.size < min_size:
-            grown = np.full(max(min_size, 2 * array.size), _NO_WRITE, dtype=np.int64)
+            grown = np.full(max(min_size, 4 * array.size), _NO_WRITE, dtype=np.int32)
             grown[: array.size] = array
             store[table] = array = grown
         return array
@@ -187,13 +189,15 @@ class HazardMonitor:
                     f"write-back lands at cycle {int(pending[i])}"
                 )
 
-        # Register this batch's future writes.  Fill slots are a subset of
-        # the plan's slots, so the elementwise max leaves them at the later
-        # [Train] write cycle, matching the legacy bookkeeping.
-        if fill_slots.size:
-            slot_writes[fill_slots] = insert_cycle
+        # Register this batch's future writes.  Every planned slot ends at
+        # the [Train] write cycle: fill slots' earlier [Insert] writes are
+        # superseded (fill_slots is a subset of slots), and no in-flight
+        # batch can have scheduled a later write — the latest write any
+        # previous plan registered is its own train cycle, which is
+        # strictly earlier.  A plain scatter therefore matches the legacy
+        # ``max(existing, train_cycle)`` bookkeeping exactly.
         if slots.size:
-            slot_writes[slots] = np.maximum(slot_writes[slots], train_cycle)
+            slot_writes[slots] = train_cycle
         if evicted.size:
             dirty = evicted[: fill_slots.size]
             dirty = dirty[dirty != EMPTY]
@@ -262,6 +266,60 @@ class _InFlight:
     victim_rows: List[np.ndarray] = field(default_factory=list)
 
 
+class _TableStaging:
+    """Preallocated per-table ring of miss/victim staging buffers.
+
+    Functional runs used to heap-allocate fresh copies of the miss rows and
+    victim rows for every table of every cycle.  A batch's staging is alive
+    only from its [Collect] to its [Insert], so at most
+    ``PLAN_TO_INSERT - PLAN_TO_COLLECT + 1`` batches ever hold staging at
+    once — a ring of that depth, indexed by batch number, lets every cycle
+    reuse the buffers of a retired batch (growing them geometrically the
+    first time a bigger miss burst comes through).  [Insert] of batch ``b``
+    runs before [Collect] of batch ``b+2`` within a cycle, so a slot is
+    always drained before the ring wraps back onto it.
+    """
+
+    __slots__ = ("depth", "_collected", "_victims")
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self._collected: List[Optional[np.ndarray]] = [None] * depth
+        self._victims: List[Optional[np.ndarray]] = [None] * depth
+
+    @staticmethod
+    def _view(
+        buffers: List[Optional[np.ndarray]],
+        slot: int,
+        rows: int,
+        dim: int,
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        buffer = buffers[slot]
+        if (
+            buffer is None
+            or buffer.shape[0] < rows
+            or buffer.shape[1] != dim
+            or buffer.dtype != dtype
+        ):
+            capacity = rows if buffer is None else max(rows, 2 * buffer.shape[0])
+            buffer = np.empty((max(capacity, 1), dim), dtype=dtype)
+            buffers[slot] = buffer
+        return buffer[:rows]
+
+    def collected_view(
+        self, batch_index: int, rows: int, dim: int, dtype: np.dtype
+    ) -> np.ndarray:
+        """Staging for the CPU-table rows batch ``batch_index`` collects."""
+        return self._view(self._collected, batch_index % self.depth, rows, dim, dtype)
+
+    def victims_view(
+        self, batch_index: int, rows: int, dim: int, dtype: np.dtype
+    ) -> np.ndarray:
+        """Staging for the victim rows batch ``batch_index`` reads out."""
+        return self._view(self._victims, batch_index % self.depth, rows, dim, dtype)
+
+
 @dataclass
 class PipelineResult:
     """Outcome of a pipeline run.
@@ -327,6 +385,12 @@ class ScratchPipePipeline:
         # each batch is needed by [Load] plus the future windows of the two
         # preceding [Plan]s — materialise each index once.
         self._batch_cache: Dict[int, MiniBatch] = {}
+        # Ring of reusable staging buffers for functional-mode [Collect];
+        # a batch's staging lives until its own [Insert] drains it.
+        self._staging: List[_TableStaging] = [
+            _TableStaging(PLAN_TO_INSERT - PLAN_TO_COLLECT + 1)
+            for _ in range(self.config.num_tables)
+        ] if self._functional else []
 
     # ------------------------------------------------------------------
     # Stage implementations
@@ -349,21 +413,18 @@ class ScratchPipePipeline:
                 future_batches.append(self._get_batch(index))
         batch = record.batch
         for table, scratchpad in enumerate(self.scratchpads):
-            future_ids: Optional[np.ndarray] = None
+            future_ids: Optional[object] = None
             if self.unique_cache:
                 # Each batch's sorted-unique IDs are computed once (cached
                 # on the MiniBatch) and shared between its own Plan and the
-                # future windows of the two preceding Plans.  The future
-                # concatenation may repeat IDs across batches; the Plan
-                # stage only ORs their slots into a mask, so deduplicating
-                # again would change nothing.
+                # future windows of the two preceding Plans.  The per-batch
+                # sets are handed over as a list — the Plan stage only
+                # flags their slots, so neither concatenating nor
+                # deduplicating across batches would change anything.
                 if future_batches:
-                    if len(future_batches) == 1:
-                        future_ids = future_batches[0].unique_table_ids(table)
-                    else:
-                        future_ids = np.concatenate(
-                            [b.unique_table_ids(table) for b in future_batches]
-                        )
+                    future_ids = [
+                        b.unique_table_ids(table) for b in future_batches
+                    ]
                 plan = scratchpad.plan_batch(
                     batch.unique_table_ids(table),
                     future_ids,
@@ -382,13 +443,22 @@ class ScratchPipePipeline:
     def _do_collect(self, record: _InFlight) -> None:
         if not self._functional:
             return
+        index = record.batch.index
         for table, plan in enumerate(record.plans):
-            record.collected_rows.append(
-                self.cpu_tables[table][plan.miss_ids].copy()
+            staging = self._staging[table]
+            cpu_table = self.cpu_tables[table]
+            collected = staging.collected_view(
+                index, plan.miss_ids.size, cpu_table.shape[1], cpu_table.dtype
             )
-            record.victim_rows.append(
-                self.scratchpads[table].read_slots(plan.fill_slots).copy()
+            np.take(cpu_table, plan.miss_ids, axis=0, out=collected)
+            record.collected_rows.append(collected)
+            scratchpad = self.scratchpads[table]
+            victims = staging.victims_view(
+                index, plan.fill_slots.size, scratchpad.dim,
+                np.dtype(np.float32),
             )
+            scratchpad.read_slots_into(plan.fill_slots, victims)
+            record.victim_rows.append(victims)
 
     def _do_insert(self, record: _InFlight) -> None:
         if not self._functional:
@@ -403,7 +473,8 @@ class ScratchPipePipeline:
                 self.scratchpads[table].write_slots(
                     plan.fill_slots, record.collected_rows[table]
                 )
-            # Free the staging buffers early.
+            # The staging views are ring-owned: dropping the references is
+            # enough, the buffers themselves are reused by a later batch.
             record.collected_rows[table] = np.empty(0, dtype=np.float32)
             record.victim_rows[table] = np.empty(0, dtype=np.float32)
 

@@ -2,16 +2,56 @@
 
 The Plan stage needs ``k`` victims per miss burst, chosen from the slots the
 Hold mask leaves eligible.  The paper's default policy is LRU, with random
-and LFU evaluated in the Section VI-E sensitivity study.  All policies here
-are vectorised: one call selects the whole burst.
+and LFU evaluated in the Section VI-E sensitivity study.
+
+Selection semantics
+-------------------
+``LruPolicy``/``LfuPolicy`` return the ``count`` eligible slots that are
+smallest under the lexicographic order ``(score, slot index)``, in ascending
+order — score is the last-use cycle for LRU and the use count for LFU.
+Never-used slots carry the smallest scores, so vacancies fill eagerly and
+deterministically.  ``RandomPolicy`` fills sorted vacant slots first (so the
+cache warms deterministically) and only then draws uniformly random victims
+among the used eligible slots.
+
+The tie-break *by slot index* is deliberate: the seed implementation used
+``np.argpartition``, whose choice among equal scores is an introselect
+implementation detail — impossible to reproduce with any structure that does
+not rescan every slot, and not stable across numpy versions.  Pinning the
+order makes victim choice a well-defined cache semantic that both the scan
+and the incremental implementations below realise bit-identically.
+
+Two implementations of the same semantics
+-----------------------------------------
+* ``legacy=True`` — the seed-style full scan: rebuild the candidate list
+  from a boolean eligibility mask and sort, O(num_slots) per call.  Retained
+  as the oracle for the equivalence property tests (the same pattern as the
+  pipeline's legacy ``HazardMonitor``).
+* ``legacy=False`` (default) — an incrementally maintained score-bucketed
+  candidate queue (:class:`_CandidateBuckets`): ``record_use`` appends the
+  touched slots to the bucket of their new score, and ``select_eligible``
+  pops victims from the lowest buckets, checking eligibility per candidate
+  with O(1) hold-stamp compares.  Stale entries (slots whose score moved on)
+  are dropped lazily when encountered, so the per-cycle cost tracks the
+  slots actually touched — O(misses) — instead of ``num_slots``.
+
+``REPRO_LEGACY_SELECT=1`` in the environment flips every policy built by
+:func:`make_policy` to the scan oracle (a whole-run verification hook).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
+
+#: Chunk floor for the bucket walk: candidates are validated in slices of at
+#: least this many entries so the amortised numpy call overhead stays small.
+_MIN_CHUNK = 64
+
+_EMPTY_SLOTS = np.empty(0, dtype=np.int64)
 
 
 class CachePressureError(RuntimeError):
@@ -24,42 +64,234 @@ class CachePressureError(RuntimeError):
     """
 
 
+class _SlotExclusion:
+    """Versioned transient-slot marking (no per-call clearing pass).
+
+    The stamp array carries one sacrificial trailing element so callers can
+    arm raw Hit-Map lookups directly: ``EMPTY`` (-1) slots — future IDs
+    that are not cached and so protect nothing — land on the extra element
+    instead of a real slot.
+    """
+
+    __slots__ = ("_stamp", "_version")
+
+    def __init__(self, num_slots: int) -> None:
+        self._stamp = np.zeros(num_slots + 1, dtype=np.int32)
+        self._version = 0
+
+    def arm(self, parts) -> None:
+        """Mark the slots of ``parts`` (a list of index arrays, -1 allowed)
+        as transiently protected for this selection."""
+        self._version += 1
+        for slots in parts:
+            self._stamp[slots] = self._version
+
+    def mask(self, slots: np.ndarray) -> np.ndarray:
+        """Boolean mask: True where the slot was armed this version."""
+        return self._stamp[slots] == self._version
+
+
+class _CandidateBuckets:
+    """Incremental (score -> sorted candidate slots) queue.
+
+    Entries live in the bucket of the score they were pushed with; a slot
+    whose score has since changed is *stale* and is discarded the first time
+    a pop walk encounters it (its live entry sits in a later-pushed bucket).
+    Selection is a pure query: popped candidates stay in their bucket until
+    their score changes, so repeated pops with unchanged state return the
+    same victims — exactly like the scan oracle.
+
+    Buckets store lists of sorted, ascending-disjoint array parts so that
+    consuming the head of a large bucket (the initial all-vacant free list)
+    never copies its tail.  Total work is amortised O(1) per pushed entry:
+    stale and consumed entries are touched at most twice, and periodic
+    rebuilds (triggered by push volume) bound the memory of long runs.
+    """
+
+    def __init__(self, scores: np.ndarray, num_slots: int) -> None:
+        self._scores = scores
+        self._num_slots = num_slots
+        self._rebuild_threshold = max(8 * num_slots, 1 << 19)
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Drop all entries and re-derive one live entry per slot."""
+        scores = self._scores
+        order = np.argsort(scores, kind="stable")
+        ordered = scores[order]
+        boundaries = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
+        chunks = np.split(order, boundaries)
+        keys = ordered[np.concatenate(([0], boundaries))]
+        self._parts: Dict[int, List[np.ndarray]] = {
+            int(key): [chunk] for key, chunk in zip(keys, chunks)
+        }
+        self._pending: Dict[int, List[np.ndarray]] = {}
+        self._min_key = int(keys[0])
+        self._max_key = int(keys[-1])
+        self._pushed = 0
+
+    def push(self, key: int, slots: np.ndarray) -> None:
+        """Record that ``slots`` now score ``key`` (their prior entries go
+        stale).  ``slots`` must not contain duplicates."""
+        self._pending.setdefault(key, []).append(slots)
+        if key < self._min_key:
+            self._min_key = key
+        if key > self._max_key:
+            self._max_key = key
+        self._pushed += slots.size
+        if self._pushed >= self._rebuild_threshold:
+            self.rebuild()
+
+    def pop(
+        self,
+        count: int,
+        release_stamps: np.ndarray,
+        clock: int,
+        exclude,
+        stop_key: Optional[int] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Collect up to ``count`` eligible slots in (score, slot) order.
+
+        A candidate is eligible when its hold stamp has expired
+        (``release_stamps[slot] <= clock``) and ``exclude`` (``None`` or an
+        object with a ``mask(slots)`` method, e.g. :class:`_SlotExclusion`)
+        does not veto it.  ``stop_key`` bounds the walk (inclusive);
+        ``None`` walks every bucket.  Returns ``(victims, found)`` where
+        ``found < count`` means the walked buckets hold only ``found``
+        eligible slots in total.
+        """
+        taken: List[np.ndarray] = []
+        got = 0
+        scores = self._scores
+        key = self._min_key
+        last_key = self._max_key if stop_key is None else min(stop_key, self._max_key)
+        advance_min = True
+        while got < count and key <= last_key:
+            parts = self._parts.get(key)
+            pending = self._pending.pop(key, None)
+            if pending is not None:
+                flat = (parts or []) + pending
+                parts = [np.sort(np.concatenate(flat)) if len(flat) > 1
+                         else np.sort(flat[0])]
+            if not parts:
+                if advance_min:
+                    self._min_key = key + 1
+                key += 1
+                continue
+            new_parts: List[np.ndarray] = []
+            need = count - got
+            for index, part in enumerate(parts):
+                if need == 0:
+                    new_parts.extend(parts[index:])
+                    break
+                position = 0
+                while position < part.size and need > 0:
+                    chunk = part[position:position + max(_MIN_CHUNK, 2 * need)]
+                    position += chunk.size
+                    fresh = chunk[scores[chunk] == key]
+                    if not fresh.size:
+                        continue
+                    eligible = fresh[release_stamps[fresh] <= clock]
+                    if exclude is not None and eligible.size:
+                        eligible = eligible[~exclude.mask(eligible)]
+                    if eligible.size:
+                        grab = eligible[:need]
+                        taken.append(grab)
+                        got += grab.size
+                        need -= grab.size
+                    new_parts.append(fresh)
+                if position < part.size:
+                    new_parts.append(part[position:])
+            if new_parts:
+                self._parts[key] = new_parts
+                advance_min = False
+            else:
+                self._parts.pop(key, None)
+                if advance_min:
+                    self._min_key = key + 1
+            key += 1
+        if not taken:
+            return _EMPTY_SLOTS, got
+        if len(taken) == 1:
+            return taken[0], got
+        return np.concatenate(taken), got
+
+
 @dataclass
 class ReplacementPolicy:
     """Base class holding per-slot usage metadata.
 
     Attributes:
         num_slots: Number of Storage slots managed.
+        legacy: Use the full-scan selection path (the equivalence-test
+            oracle) instead of the incremental candidate queue.
     """
 
     num_slots: int
+    legacy: bool = False
     _last_use: np.ndarray = field(init=False, repr=False)
-    _use_count: np.ndarray = field(init=False, repr=False)
+    _buckets: Optional[_CandidateBuckets] = field(
+        init=False, default=None, repr=False
+    )
+    _slot_exclusion: Optional[_SlotExclusion] = field(
+        init=False, default=None, repr=False
+    )
+    _hold_mask: Optional[object] = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
             raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
-        # Never-used slots sort first under LRU so vacancies fill eagerly.
-        self._last_use = np.full(self.num_slots, -1, dtype=np.int64)
-        self._use_count = np.zeros(self.num_slots, dtype=np.int64)
+        # Never-used slots sort first so vacancies fill eagerly.
+        # int32 scores: plan cycles and use counts stay far below 2**31,
+        # and the score gathers are the candidate walk's hottest traffic.
+        self._last_use = np.full(self.num_slots, -1, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _scores(self) -> np.ndarray:
+        """Per-slot victim score (smaller = evicted first)."""
+        raise NotImplementedError
+
+    def bind_hold_mask(self, hold_mask) -> None:
+        """Attach the :class:`~repro.core.holdmask.HoldMask` whose stamps
+        the incremental path consults for per-candidate eligibility."""
+        self._hold_mask = hold_mask
 
     def record_use(self, slots: np.ndarray, cycle: int) -> None:
-        """Note that ``slots`` were referenced by the batch planned at ``cycle``."""
+        """Note that ``slots`` (unique indices) were referenced by the batch
+        planned at ``cycle``."""
         slots = np.asarray(slots, dtype=np.int64)
         if slots.size == 0:
             return
         self._last_use[slots] = cycle
-        self._use_count[slots] += 1
+        if self._buckets is not None:
+            self._push_used(slots, cycle)
 
+    def _push_used(self, slots: np.ndarray, cycle: int) -> None:
+        self._buckets.push(cycle, slots)
+
+    def reset(self) -> None:
+        """Forget all usage state, returning to the as-constructed state."""
+        self._last_use.fill(-1)
+        if self._buckets is not None:
+            self._buckets.rebuild()
+
+    # ------------------------------------------------------------------
+    # Scan path (the ``legacy=True`` oracle)
+    # ------------------------------------------------------------------
     def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
         """Choose ``count`` victim slots among ``eligible`` (boolean mask).
 
-        Returns an int64 array of ``count`` distinct slot indices.
+        Full-scan implementation of the canonical (score, slot) semantics;
+        returns an int64 array of ``count`` distinct slots in selection
+        order.
 
         Raises:
             CachePressureError: If fewer than ``count`` slots are eligible.
         """
-        raise NotImplementedError
+        candidates = self._candidates(eligible, count)
+        return self._take_smallest(candidates, self._scores(), count)
 
     def _candidates(self, eligible: np.ndarray, count: int) -> np.ndarray:
         candidates = np.flatnonzero(eligible)
@@ -71,40 +303,153 @@ class ReplacementPolicy:
             )
         return candidates
 
+    @staticmethod
     def _take_smallest(
-        self, candidates: np.ndarray, scores: np.ndarray, count: int
+        candidates: np.ndarray, scores: np.ndarray, count: int
     ) -> np.ndarray:
-        """Pick the ``count`` candidates with the smallest scores."""
+        """The ``count`` candidates smallest under (score, slot index).
+
+        ``candidates`` ascends by construction (``flatnonzero``), so a
+        stable argsort on the scores realises the lexicographic order.
+        """
         if count == 0:
-            return np.empty(0, dtype=np.int64)
-        candidate_scores = scores[candidates]
-        if count >= candidates.size:
-            return candidates
-        picked = np.argpartition(candidate_scores, count - 1)[:count]
-        return candidates[picked]
+            return _EMPTY_SLOTS
+        order = np.argsort(scores[candidates], kind="stable")
+        return candidates[order[:count]]
+
+    # ------------------------------------------------------------------
+    # Incremental path (the default)
+    # ------------------------------------------------------------------
+    def _ensure_incremental(self) -> _CandidateBuckets:
+        if self._hold_mask is None:
+            raise RuntimeError(
+                "select_eligible() needs a bound HoldMask; call "
+                "bind_hold_mask() first (or use legacy=True with select())"
+            )
+        if self._buckets is None:
+            self._buckets = _CandidateBuckets(self._scores(), self.num_slots)
+        return self._buckets
+
+    def _exclusion_for(self, transient):
+        """Normalise the transient argument into an exclusion object.
+
+        Accepts ``None``, an array of transient slot indices (duplicates
+        allowed), a list of such arrays (``-1`` entries are ignored — they
+        mark uncached future IDs), or any object exposing ``mask(slots)``.
+        """
+        if transient is None:
+            return None
+        if hasattr(transient, "mask"):
+            return transient
+        if isinstance(transient, (list, tuple)):
+            parts = [part for part in transient if part.size]
+        else:
+            slots = np.asarray(transient, dtype=np.int64)
+            parts = [slots] if slots.size else []
+        if not parts:
+            return None
+        if self._slot_exclusion is None:
+            self._slot_exclusion = _SlotExclusion(self.num_slots)
+        self._slot_exclusion.arm(parts)
+        return self._slot_exclusion
+
+    def select_eligible(self, count: int, transient=None) -> np.ndarray:
+        """Choose ``count`` victims without scanning ``num_slots``.
+
+        Eligibility is "hold stamp expired and not transiently protected"
+        (the Plan stage's future-window lookahead); ``transient`` is an
+        array of protected slots or an exclusion object (see
+        :meth:`_exclusion_for`).  Bit-identical to ``select()`` over the
+        eligibility mask the bound hold mask and the transient set describe.
+        """
+        if count == 0:
+            return _EMPTY_SLOTS
+        buckets = self._ensure_incremental()
+        hold = self._hold_mask
+        exclude = self._exclusion_for(transient)
+        victims, got = buckets.pop(
+            count, hold.release_stamps, hold.clock, exclude
+        )
+        if got < count:
+            # The store may simply have drained: policies that skip
+            # per-use pushes (LRU's used-after-rebuild slots always rank
+            # after every still-valid entry) recover the missing candidates
+            # by rebuilding from the score arrays.  Pops are pure, so the
+            # retry is clean; a dry walk after a rebuild is real pressure.
+            buckets.rebuild()
+            victims, got = buckets.pop(
+                count, hold.release_stamps, hold.clock, exclude
+            )
+        if got < count:
+            raise CachePressureError(
+                f"need {count} victims but only {got} of "
+                f"{self.num_slots} slots are eligible; enlarge the scratchpad "
+                "(see repro.core.scratchpad.required_slots)"
+            )
+        return victims
 
 
 @dataclass
 class LruPolicy(ReplacementPolicy):
     """Evict the least-recently-used eligible slots (the paper's default)."""
 
-    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
-        candidates = self._candidates(eligible, count)
-        return self._take_smallest(candidates, self._last_use, count)
+    def _scores(self) -> np.ndarray:
+        return self._last_use
 
 
 @dataclass
 class LfuPolicy(ReplacementPolicy):
     """Evict the least-frequently-used eligible slots."""
 
-    def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
-        candidates = self._candidates(eligible, count)
-        return self._take_smallest(candidates, self._use_count, count)
+    _use_count: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._use_count = np.zeros(self.num_slots, dtype=np.int32)
+
+    def _scores(self) -> np.ndarray:
+        return self._use_count
+
+    def record_use(self, slots: np.ndarray, cycle: int) -> None:
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return
+        self._last_use[slots] = cycle
+        self._use_count[slots] += 1
+        if self._buckets is not None:
+            self._push_used(slots, cycle)
+
+    def _push_used(self, slots: np.ndarray, cycle: int) -> None:
+        # Unlike LRU, one batch lands in several buckets: group the touched
+        # slots by their incremented use count.
+        counts = self._use_count[slots]
+        order = np.argsort(counts, kind="stable")
+        ordered_counts = counts[order]
+        ordered_slots = slots[order]
+        boundaries = np.flatnonzero(ordered_counts[1:] != ordered_counts[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [ordered_slots.size]))
+        for start, end in zip(starts, ends):
+            self._buckets.push(int(ordered_counts[start]), ordered_slots[start:end])
+
+    def reset(self) -> None:
+        self._use_count.fill(0)
+        super().reset()
 
 
 @dataclass
 class RandomPolicy(ReplacementPolicy):
-    """Evict uniformly random eligible slots (sensitivity study baseline)."""
+    """Evict uniformly random eligible slots (sensitivity study baseline).
+
+    Vacant (never-used) slots are consumed first, in ascending slot order —
+    an explicit contract so the cache warm-up is deterministic; randomness
+    applies only to true evictions.  The incremental path serves the vacant
+    phase from the candidate free list in O(count); the random-eviction tail
+    falls back to a full scan, because drawing without replacement from the
+    eligible-used population with ``Generator.choice`` consumes the RNG as a
+    function of the whole population — any shortcut would change every
+    sensitivity-figure draw.
+    """
 
     seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False)
@@ -113,17 +458,58 @@ class RandomPolicy(ReplacementPolicy):
         super().__post_init__()
         self._rng = np.random.default_rng(self.seed)
 
+    def _scores(self) -> np.ndarray:
+        return self._last_use
+
+    def _push_used(self, slots: np.ndarray, cycle: int) -> None:
+        # The incremental path only ever consumes the vacant free list
+        # (bucket -1); used slots never return to it, so pushing their new
+        # scores would only feed buckets nobody pops.
+        pass
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = np.random.default_rng(self.seed)
+
     def select(self, eligible: np.ndarray, count: int) -> np.ndarray:
         candidates = self._candidates(eligible, count)
         if count == 0:
-            return np.empty(0, dtype=np.int64)
-        # Prefer vacant (never used) slots first, like LRU does, so that the
-        # cache warms deterministically; randomness applies to true evictions.
+            return _EMPTY_SLOTS
+        # ``candidates`` ascends, so the vacant subset is already in the
+        # pinned warm-up order (smallest slot index first).
         vacant = candidates[self._last_use[candidates] < 0]
         if vacant.size >= count:
             return vacant[:count]
         used = candidates[self._last_use[candidates] >= 0]
         extra = self._rng.choice(used, size=count - vacant.size, replace=False)
+        return np.concatenate([vacant, extra])
+
+    def select_eligible(self, count: int, transient=None) -> np.ndarray:
+        if count == 0:
+            return _EMPTY_SLOTS
+        buckets = self._ensure_incremental()
+        hold = self._hold_mask
+        exclude = self._exclusion_for(transient)
+        vacant, got = buckets.pop(
+            count, hold.release_stamps, hold.clock, exclude, stop_key=-1
+        )
+        if got >= count:
+            return vacant
+        # Random-eviction tail: materialise the sorted eligible-used
+        # population the scan oracle would draw from (see class docs).
+        eligible_used = (hold.release_stamps <= hold.clock) & (
+            self._last_use >= 0
+        )
+        used = np.flatnonzero(eligible_used)
+        if exclude is not None and used.size:
+            used = used[~exclude.mask(used)]
+        if got + used.size < count:
+            raise CachePressureError(
+                f"need {count} victims but only {got + used.size} of "
+                f"{self.num_slots} slots are eligible; enlarge the scratchpad "
+                "(see repro.core.scratchpad.required_slots)"
+            )
+        extra = self._rng.choice(used, size=count - got, replace=False)
         return np.concatenate([vacant, extra])
 
 
@@ -134,12 +520,21 @@ _POLICIES: Dict[str, Type[ReplacementPolicy]] = {
 }
 
 
-def make_policy(name: str, num_slots: int) -> ReplacementPolicy:
-    """Build a replacement policy by name (``"lru"``/``"lfu"``/``"random"``)."""
+def make_policy(
+    name: str, num_slots: int, legacy: Optional[bool] = None
+) -> ReplacementPolicy:
+    """Build a replacement policy by name (``"lru"``/``"lfu"``/``"random"``).
+
+    ``legacy=None`` (the default) reads ``REPRO_LEGACY_SELECT`` from the
+    environment, so a whole run can be flipped to the scan oracle for
+    verification without threading a flag through every constructor.
+    """
     try:
         policy_cls = _POLICIES[name.lower()]
     except KeyError:
         raise ValueError(
             f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
         ) from None
-    return policy_cls(num_slots=num_slots)
+    if legacy is None:
+        legacy = bool(int(os.environ.get("REPRO_LEGACY_SELECT", "0") or "0"))
+    return policy_cls(num_slots=num_slots, legacy=legacy)

@@ -20,7 +20,11 @@ import numpy as np
 
 from repro.core.hitmap import EMPTY, HitMap
 from repro.core.holdmask import HoldMask
-from repro.core.replacement import ReplacementPolicy, make_policy
+from repro.core.replacement import (
+    CachePressureError,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.model.config import ModelConfig
 
 
@@ -55,8 +59,12 @@ class TablePlan:
 
     @property
     def num_hits(self) -> int:
-        """Unique IDs already cached at plan time."""
-        return int(self.hit_mask.sum())
+        """Unique IDs already cached at plan time.
+
+        Every unique ID is either a hit or a miss, so this is derived in
+        O(1) rather than re-reducing ``hit_mask`` per consumer.
+        """
+        return int(self.unique_ids.size - self.miss_ids.size)
 
     @property
     def num_misses(self) -> int:
@@ -95,6 +103,12 @@ class GpuScratchpad:
         past_window: Hold-mask past window (3 in the paper's pipeline).
         policy_name: Replacement policy (``"lru"``/``"lfu"``/``"random"``).
         with_storage: Materialise a numpy Storage array.
+        legacy_select: Run victim selection through the full-scan oracle
+            policies instead of the incremental candidate queues (see
+            ``repro.core.replacement``); ``None`` defers to the
+            ``REPRO_LEGACY_SELECT`` environment hook.
+        table_index: Which table this scratchpad caches, threaded into
+            cache-pressure diagnostics (``None`` for standalone use).
     """
 
     num_slots: int
@@ -103,6 +117,8 @@ class GpuScratchpad:
     past_window: int = 3
     policy_name: str = "lru"
     with_storage: bool = False
+    legacy_select: Optional[bool] = None
+    table_index: Optional[int] = None
     hit_map: HitMap = field(init=False)
     hold_mask: HoldMask = field(init=False)
     policy: ReplacementPolicy = field(init=False)
@@ -114,9 +130,27 @@ class GpuScratchpad:
             raise ValueError("dim must be >= 1 when storage is materialised")
         self.hit_map = HitMap(self.num_slots, self.num_rows)
         self.hold_mask = HoldMask(self.num_slots, past_window=self.past_window)
-        self.policy = make_policy(self.policy_name, self.num_slots)
+        self.policy = make_policy(
+            self.policy_name, self.num_slots, legacy=self.legacy_select
+        )
+        self.policy.bind_hold_mask(self.hold_mask)
         if self.with_storage:
             self.storage = np.zeros((self.num_slots, self.dim), dtype=np.float32)
+
+    def reset(self) -> None:
+        """Return to the freshly constructed state without reallocating.
+
+        The Hit-Map's dense ID-indexed index is the scratchpad's dominant
+        allocation (``num_rows`` entries per table — hundreds of MB at paper
+        scale), so sweep runners reuse one scratchpad per (system, scale)
+        grid instead of rebuilding it per point.
+        """
+        self.hit_map.reset()
+        self.hold_mask.reset()
+        self.policy.reset()
+        if self.storage is not None:
+            self.storage.fill(0.0)
+        self._plan_cycle = 0
 
     # ------------------------------------------------------------------
     # [Plan] stage logic (Algorithm 1, vectorised, with future window)
@@ -133,13 +167,15 @@ class GpuScratchpad:
         Args:
             batch_ids: The batch's lookup IDs for this table (any shape;
                 duplicates allowed).
-            future_ids: Union of the lookup IDs of the next
-                ``future_window`` batches (the lookahead that removes
-                RAW-4); ``None`` or empty disables future protection.
+            future_ids: Lookup IDs of the next ``future_window`` batches
+                (the lookahead that removes RAW-4); ``None`` or empty
+                disables future protection.  With ``presorted_unique`` this
+                may be a *list* of per-batch sorted-unique ID arrays, which
+                skips concatenating them.
             presorted_unique: Fast path for the pipelined caller:
                 ``batch_ids`` is already the sorted-unique int64 ID set of
                 the batch (``MiniBatch.unique_table_ids``) and ``future_ids``
-                is a concatenation of such per-batch sorted-unique sets.
+                holds such per-batch sorted-unique sets.
                 Skips the per-call ``np.unique`` passes; the resulting plan
                 is bit-identical to the slow path's.
 
@@ -165,35 +201,48 @@ class GpuScratchpad:
 
         # Protect this batch's hits for the whole sliding window.
         hit_slots = slots[hit_mask]
-        self.hold_mask.hold(hit_slots)
+        self.hold_mask.hold_trusted(hit_slots)
 
-        # Transient protection of slots the next future_window batches need
-        # (removes RAW-4: never evict what an upcoming batch expects cached).
-        transient = np.zeros(self.num_slots, dtype=bool)
-        if future_ids is not None and len(future_ids) > 0:
-            if presorted_unique:
-                # Duplicates across the concatenated per-batch unique sets
-                # only re-set transient bits — deduplication is pointless.
-                future_keys = future_ids
-            else:
-                future_keys = np.unique(
-                    np.asarray(future_ids, dtype=np.int64).reshape(-1)
-                )
-            # The concatenation is not globally sorted, so take the full
-            # min/max range validation here (O(n), trivial next to the
-            # np.unique sort this path avoids).
-            future_slots, future_hits = self.hit_map.query(future_keys)
-            transient[future_slots[future_hits]] = True
-
-        miss_ids = unique_ids[~hit_mask]
+        not_hit = ~hit_mask
+        miss_ids = unique_ids[not_hit]
         fill_slots = np.empty(0, dtype=np.int64)
         evicted_ids = np.empty(0, dtype=np.int64)
         if miss_ids.size:
-            eligible = self.hold_mask.eligible_mask() & ~transient
-            fill_slots = self.policy.select(eligible, miss_ids.size)
-            evicted_ids = self.hit_map.assign_many(miss_ids, fill_slots)
-            self.hold_mask.hold(fill_slots)
-            slots[~hit_mask] = fill_slots
+            # Transient protection of slots the next future_window batches
+            # need (removes RAW-4: never evict what an upcoming batch
+            # expects cached).  Computed only when victims are needed — the
+            # lookahead has no other effect.  Duplicates across the
+            # per-batch unique sets only re-flag slots, so deduplication
+            # across batches is pointless.
+            try:
+                if self.policy.legacy:
+                    transient_slots = self._future_held_slots(
+                        future_ids, presorted_unique
+                    )
+                    eligible = self.hold_mask.eligible_mask()
+                    if transient_slots is not None and transient_slots.size:
+                        eligible[transient_slots] = False
+                    fill_slots = self.policy.select(eligible, miss_ids.size)
+                else:
+                    fill_slots = self.policy.select_eligible(
+                        miss_ids.size,
+                        self._future_raw_slots(future_ids, presorted_unique),
+                    )
+            except CachePressureError as error:
+                table = (
+                    f"table {self.table_index}"
+                    if self.table_index is not None
+                    else "table ?"
+                )
+                raise CachePressureError(
+                    f"[Plan] cache pressure at {table}, "
+                    f"plan cycle {self._plan_cycle}: {error}"
+                ) from None
+            evicted_ids = self.hit_map.assign_many(
+                miss_ids, fill_slots, validate=False
+            )
+            self.hold_mask.hold_trusted(fill_slots)
+            slots[not_hit] = fill_slots
 
         used_slots = slots
         self.policy.record_use(used_slots, self._plan_cycle)
@@ -206,6 +255,61 @@ class GpuScratchpad:
             fill_slots=fill_slots,
             evicted_ids=evicted_ids,
         )
+
+    def _future_raw_slots(self, future_ids, presorted_unique: bool):
+        """Future-window slots as raw per-part lookups (may contain -1).
+
+        The incremental policies arm transient protection straight from
+        these (uncached future IDs map to -1, which lands on the exclusion
+        stamp's sacrificial element), skipping the hit filtering and
+        concatenation the boolean-mask path needs.
+        """
+        if future_ids is None or len(future_ids) == 0:
+            return None
+        if presorted_unique:
+            if isinstance(future_ids, (list, tuple)):
+                return [
+                    self.hit_map.slots_raw(keys, presorted_unique=True)
+                    for keys in future_ids
+                ]
+            # Back-compat: one pre-concatenated array is not globally
+            # sorted, so take the full range validation.
+            return [self.hit_map.slots_raw(future_ids)]
+        future_keys = np.unique(
+            np.asarray(future_ids, dtype=np.int64).reshape(-1)
+        )
+        return [self.hit_map.slots_raw(future_keys, presorted_unique=True)]
+
+    def _future_held_slots(
+        self, future_ids, presorted_unique: bool
+    ) -> Optional[np.ndarray]:
+        """Slots the future-window batches will hit (may repeat), or None."""
+        if future_ids is None or len(future_ids) == 0:
+            return None
+        if presorted_unique:
+            if isinstance(future_ids, (list, tuple)):
+                # Per-batch sorted-unique sets: the O(1) first/last range
+                # check applies per part.
+                parts = [(keys, True) for keys in future_ids]
+            else:
+                # Back-compat: one pre-concatenated array is not globally
+                # sorted, so take the full range validation.
+                parts = [(future_ids, False)]
+            held = []
+            for keys, sorted_part in parts:
+                future_slots, future_hits = self.hit_map.query(
+                    keys, presorted_unique=sorted_part
+                )
+                hit_slots = future_slots[future_hits]
+                if hit_slots.size:
+                    held.append(hit_slots)
+            if not held:
+                return None
+            return held[0] if len(held) == 1 else np.concatenate(held)
+        future_keys = np.unique(np.asarray(future_ids, dtype=np.int64).reshape(-1))
+        future_slots, future_hits = self.hit_map.query(future_keys)
+        hit_slots = future_slots[future_hits]
+        return hit_slots if hit_slots.size else None
 
     # ------------------------------------------------------------------
     # Storage access (functional mode only)
@@ -221,6 +325,15 @@ class GpuScratchpad:
         """Read embedding rows out of Storage ([Collect] victim reads,
         [Train] gathers)."""
         return self._require_storage()[slots]
+
+    def read_slots_into(self, slots: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather embedding rows into a caller-provided buffer.
+
+        Lets the pipeline stage victim rows into its preallocated ring
+        buffers instead of allocating a fresh copy per cycle.
+        """
+        np.take(self._require_storage(), slots, axis=0, out=out)
+        return out
 
     def write_slots(self, slots: np.ndarray, values: np.ndarray) -> None:
         """Write embedding rows into Storage ([Insert] fills,

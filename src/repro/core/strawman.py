@@ -39,8 +39,9 @@ def make_strawman_scratchpads(
             past_window=0,
             policy_name=policy_name,
             with_storage=with_storage,
+            table_index=table,
         )
-        for _ in range(config.num_tables)
+        for table in range(config.num_tables)
     ]
 
 

@@ -10,12 +10,14 @@ file rather than a generator.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 
-from repro.data.trace import MiniBatch
+from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.model.config import ModelConfig
 
 #: Format marker stored inside every trace archive.
@@ -96,6 +98,10 @@ class TraceFile:
     def __getitem__(self, index: int) -> MiniBatch:
         return self.batch(index)
 
+    def batches(self) -> List[MiniBatch]:
+        """Materialise every batch of the archive, in trace order."""
+        return [self.batch(i) for i in range(len(self))]
+
     def validate_against(self, config: ModelConfig) -> None:
         """Raise if the archive's geometry does not match ``config``."""
         mismatches = []
@@ -111,3 +117,58 @@ class TraceFile:
             raise ValueError(
                 "trace/config geometry mismatch on: " + ", ".join(mismatches)
             )
+
+
+# ----------------------------------------------------------------------
+# On-disk memoisation of synthetic traces
+# ----------------------------------------------------------------------
+def trace_cache_path(
+    cache_dir: Union[str, Path],
+    config: ModelConfig,
+    locality: str,
+    seed: int,
+    num_batches: int,
+) -> Path:
+    """Deterministic archive path for one synthetic-trace specification.
+
+    The key hashes the full model geometry plus the trace parameters, so
+    any change to either lands in a fresh file.
+    """
+    spec = repr((config, locality, seed, num_batches))
+    digest = hashlib.sha1(spec.encode()).hexdigest()[:20]
+    return Path(cache_dir) / f"trace-{digest}.npz"
+
+
+def materialise_cached(
+    config: ModelConfig,
+    locality: str,
+    seed: int,
+    num_batches: int,
+    cache_dir: Union[str, Path],
+) -> MaterialisedDataset:
+    """Materialise a synthetic trace, memoised to ``cache_dir`` on disk.
+
+    The first caller generates the trace and publishes it with an atomic
+    rename; later callers (including other worker processes of a sweep
+    pool) load the archive instead of re-sampling the distributions.  The
+    round-trip is lossless, so the loaded dataset is bit-identical to a
+    freshly generated one.
+    """
+    path = trace_cache_path(cache_dir, config, locality, seed, num_batches)
+    if path.exists():
+        archive = TraceFile(path)
+        archive.validate_against(config)
+        return MaterialisedDataset.from_batches(config, archive.batches())
+    dataset = MaterialisedDataset(
+        make_dataset(config, locality, seed=seed, num_batches=num_batches)
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(f".{path.stem}.{os.getpid()}.npz")
+    try:
+        save_trace(scratch, list(dataset), config)
+        os.replace(scratch, path)
+    except OSError:
+        # Publishing the cache entry is best-effort; the dataset itself is
+        # already materialised in memory.
+        scratch.unlink(missing_ok=True)
+    return dataset

@@ -89,6 +89,7 @@ def make_scratchpads(
     policy_name: str = "lru",
     with_storage: bool = False,
     past_window: int = 3,
+    legacy_select: "Optional[bool]" = None,
 ) -> List[GpuScratchpad]:
     """Build one pipelined-mode scratchpad per table."""
     return [
@@ -99,8 +100,10 @@ def make_scratchpads(
             past_window=past_window,
             policy_name=policy_name,
             with_storage=with_storage,
+            legacy_select=legacy_select,
+            table_index=table,
         )
-        for _ in range(config.num_tables)
+        for table in range(config.num_tables)
     ]
 
 
@@ -126,6 +129,24 @@ class ScratchPipeSystem(TrainingSystem):
         self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
         self.policy_name = policy_name
         self.future_window = future_window
+        self._scratchpads: Optional[List[GpuScratchpad]] = None
+
+    def _reusable_scratchpads(self) -> List[GpuScratchpad]:
+        """Metadata-only scratchpads, built once per system and reset per run.
+
+        Each scratchpad owns a dense ``rows_per_table``-sized Hit-Map index
+        (~320 MB across tables at paper scale); sweep runners evaluate many
+        grid points against one system instance, so the index is allocated
+        once and wiped in place between runs.
+        """
+        if self._scratchpads is None:
+            self._scratchpads = make_scratchpads(
+                self.config, self.num_slots, policy_name=self.policy_name
+            )
+        else:
+            for scratchpad in self._scratchpads:
+                scratchpad.reset()
+        return self._scratchpads
 
     def simulate_cache(
         self,
@@ -143,9 +164,7 @@ class ScratchPipeSystem(TrainingSystem):
         """
         pipeline = ScratchPipePipeline(
             config=self.config,
-            scratchpads=make_scratchpads(
-                self.config, self.num_slots, policy_name=self.policy_name
-            ),
+            scratchpads=self._reusable_scratchpads(),
             dataset_batches=dataset_batches,
             future_window=self.future_window,
             monitor=monitor,

@@ -36,12 +36,19 @@ class StrawmanSystem(TrainingSystem):
         self.cache_fraction = cache_fraction
         self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
         self.policy_name = policy_name
+        self._scratchpads = None
 
     def _make_cache(self) -> StrawmanCache:
-        scratchpads = make_strawman_scratchpads(
-            self.config, self.num_slots, policy_name=self.policy_name
-        )
-        return StrawmanCache(config=self.config, scratchpads=scratchpads)
+        # Like ScratchPipeSystem, reuse the scratchpads (and their dense
+        # Hit-Map indices) across run_trace calls, resetting in place.
+        if self._scratchpads is None:
+            self._scratchpads = make_strawman_scratchpads(
+                self.config, self.num_slots, policy_name=self.policy_name
+            )
+        else:
+            for scratchpad in self._scratchpads:
+                scratchpad.reset()
+        return StrawmanCache(config=self.config, scratchpads=self._scratchpads)
 
     def run_trace(
         self, dataset_batches: object, num_batches: Optional[int] = None

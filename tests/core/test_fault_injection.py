@@ -53,7 +53,7 @@ class TestCorruptedWindows:
 
         def sabotaged_plan(batch_ids, future_ids=None, **kwargs):
             # Wipe the window protection before every plan.
-            pads[0].hold_mask._bits[:] = 0
+            pads[0].hold_mask._release_at[:] = 0
             return original_plan(batch_ids, future_ids, **kwargs)
 
         pads[0].plan_batch = sabotaged_plan
@@ -107,3 +107,21 @@ class TestCapacityFailures:
             dataset_batches=dataset,
         )
         pipeline.run()  # must not raise
+
+
+class TestPressureDiagnostics:
+    def test_pressure_error_names_table_and_cycle(self, cfg):
+        """The satellite contract: pipeline-raised cache pressure says which
+        table and plan cycle hit it, not just the slot counts."""
+        from repro.core.replacement import CachePressureError
+
+        dataset = make_dataset(cfg, "random", seed=5, num_batches=20)
+        pipeline = ScratchPipePipeline(
+            config=cfg,
+            scratchpads=make_scratchpads(cfg, 10),
+            dataset_batches=dataset,
+        )
+        with pytest.raises(
+            CachePressureError, match=r"table 0, plan cycle \d+"
+        ):
+            pipeline.run()
