@@ -43,8 +43,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Entries are keyed by label so re-runs update in place and each PR's
-#: perf pass appends one trajectory point.
-RUN_LABEL = "pr2-incremental-victim-selection"
+#: perf pass appends one trajectory point.  PR 3 is a workload/test PR —
+#: its entry tracks that the scenario/streaming refactor (TraceSource,
+#: generator-based pipeline run) did not regress the hot path.
+RUN_LABEL = "pr3-scenario-engine"
 PREVIOUS_LABEL = "pr1-vectorised-hot-loops"
 
 #: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,

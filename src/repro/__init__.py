@@ -44,7 +44,16 @@ from repro.core import (
     StrawmanCache,
     required_slots,
 )
-from repro.data import LookaheadLoader, MiniBatch, SyntheticDataset, make_dataset
+from repro.data import (
+    LookaheadLoader,
+    MiniBatch,
+    ScenarioSpec,
+    SyntheticDataset,
+    TraceSource,
+    build_scenario,
+    make_dataset,
+    scenario_by_name,
+)
 from repro.hardware import DEFAULT_HARDWARE, CostModel, HardwareSpec
 from repro.model import DLRMModel, DenseNetwork, ModelConfig, tiny_config
 from repro.systems import (
@@ -81,8 +90,12 @@ __all__ = [
     "required_slots",
     "LookaheadLoader",
     "MiniBatch",
+    "ScenarioSpec",
     "SyntheticDataset",
+    "TraceSource",
+    "build_scenario",
     "make_dataset",
+    "scenario_by_name",
     "DEFAULT_HARDWARE",
     "CostModel",
     "HardwareSpec",

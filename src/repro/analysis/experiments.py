@@ -9,7 +9,7 @@ unit-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +19,7 @@ from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
 from repro.analysis.sweep import SweepPoint, run_grid
 from repro.core.scratchpad import worst_case_storage_bytes
 from repro.data.datasets import DATASET_PROFILES, LOCALITY_CLASSES
+from repro.data.scenarios import DriftSpec, ScenarioSpec, build_scenario
 from repro.data.trace import MaterialisedDataset, make_dataset
 from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
 from repro.model.config import ModelConfig
@@ -49,15 +50,29 @@ class ExperimentSetup:
         hardware: Node being modelled.
         num_batches: Trace length per (locality, system) point.
         seed: Trace seed.
+        scenario: Optional time-varying workload applied to every trace
+            this setup builds.  ``None`` (the default) keeps the stationary
+            legacy path bit-identical; any :class:`ScenarioSpec` re-runs
+            the same figure under that scenario's processes, with each
+            figure point's locality class as the base skew.
     """
 
     config: ModelConfig = field(default_factory=ModelConfig)
     hardware: HardwareSpec = field(default_factory=lambda: DEFAULT_HARDWARE)
     num_batches: int = DEFAULT_NUM_BATCHES
     seed: int = 0
+    scenario: Optional[ScenarioSpec] = None
 
     def trace(self, locality: str) -> MaterialisedDataset:
         """Materialise the benchmark trace for one locality class."""
+        if self.scenario is not None and not self.scenario.is_stationary:
+            source = build_scenario(
+                self.config,
+                self.scenario.with_locality(locality),
+                seed=self.seed,
+                num_batches=self.num_batches,
+            )
+            return MaterialisedDataset(source)
         dataset = make_dataset(
             self.config, locality, seed=self.seed, num_batches=self.num_batches
         )
@@ -84,6 +99,7 @@ class ExperimentSetup:
             warmup=warmup,
             metric=metric,
             policy_name=policy_name,
+            scenario=self.scenario,
         )
 
 
@@ -449,6 +465,87 @@ def mlp_intensity_sensitivity(
                 )
             )
     return points
+
+
+# ----------------------------------------------------------------------
+# Locality-sensitivity studies — the scenarios the paper motivates
+# (temporal stability of the hot set) but never stresses
+# ----------------------------------------------------------------------
+def drift_sensitivity(
+    setup: Optional[ExperimentSetup] = None,
+    drift_rates: Sequence[float] = (0.0, 1.0, 4.0, 16.0, 64.0),
+    cache_fraction: float = 0.02,
+    localities: Sequence[str] = ("medium", "high"),
+    workers: int = 1,
+) -> Dict[str, Dict[float, float]]:
+    """ScratchPipe Plan-stage hit rate vs hot-set drift rate.
+
+    Rate 0 is the drift-free baseline; larger rates rotate the popularity
+    head faster (rows per batch).  The pipeline's 2-batch look-forward
+    tracks drift far better than popularity caching would, but hit rate
+    must still fall as the head outruns the scratchpad — this study
+    quantifies how fast.
+
+    Any other processes on ``setup.scenario`` are kept: the sweep replaces
+    only the drift component, so churn/burst/diurnal backdrops compose
+    with the swept rate.
+
+    Returns ``{locality: {drift_rate: hit_rate}}``.
+    """
+    setup = setup or ExperimentSetup()
+    base_spec = setup.scenario or ScenarioSpec()
+    grid = []
+    for locality in localities:
+        for rate in drift_rates:
+            scenario = replace(
+                base_spec, drift=DriftSpec(rate=rate) if rate > 0 else None
+            )
+            point_setup = replace(setup, scenario=scenario)
+            grid.append(
+                point_setup.point(
+                    "scratchpipe", locality, cache_fraction, WARMUP,
+                    metric="hit_rate",
+                )
+            )
+    results = iter(run_grid(grid, workers=workers))
+    return {
+        locality: {rate: next(results) for rate in drift_rates}
+        for locality in localities
+    }
+
+
+def scenario_comparison(
+    scenarios: Dict[str, Optional[ScenarioSpec]],
+    setup: Optional[ExperimentSetup] = None,
+    cache_fraction: float = 0.02,
+    locality: str = "medium",
+    workers: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """ScratchPipe latency and hit rate under each named scenario.
+
+    Returns ``{scenario_name: {"mean_latency": s, "hit_rate": r}}`` —
+    the whole-figure view of how time-varying workloads move both the
+    cache behaviour and the end-to-end iteration time.
+    """
+    setup = setup or ExperimentSetup()
+    grid = []
+    names = list(scenarios)
+    for name in names:
+        point_setup = replace(setup, scenario=scenarios[name])
+        grid.append(
+            point_setup.point("scratchpipe", locality, cache_fraction, WARMUP)
+        )
+        grid.append(
+            point_setup.point(
+                "scratchpipe", locality, cache_fraction, WARMUP,
+                metric="hit_rate",
+            )
+        )
+    results = iter(run_grid(grid, workers=workers))
+    return {
+        name: {"mean_latency": next(results), "hit_rate": next(results)}
+        for name in names
+    }
 
 
 # ----------------------------------------------------------------------

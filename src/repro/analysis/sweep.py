@@ -1,50 +1,59 @@
 """Parallel grid runner for the paper's experiment sweeps.
 
 Every figure-level experiment is a grid of independent
-(system × locality × cache-fraction × seed) evaluations; this module turns
+(system × workload × cache-fraction × seed) evaluations; this module turns
 such a grid into a flat list of :class:`SweepPoint` descriptors and runs
 them either serially (``workers=1``, the bit-identical default) or across a
 ``concurrent.futures.ProcessPoolExecutor``.
 
 Two properties make the parallel path safe:
 
-* **Determinism** — a point is described by plain configuration values, the
-  worker regenerates its trace from ``(config, locality, seed, num_batches)``
-  (synthetic traces are deterministic by construction), and
+* **Determinism** — a point is described by plain configuration values
+  (including an optional :class:`ScenarioSpec`, a few-dozen-byte frozen
+  dataclass), traces are deterministic functions of those values, and
   ``Executor.map`` preserves submission order, so the assembled results are
   identical for any worker count.
-* **Cheap dispatch** — descriptors carry no arrays; each worker memoises
-  the materialised traces *and system instances* it has built, and
-  contiguous chunking keeps the points of one trace in one worker.
+* **Cheap dispatch** — descriptors carry no arrays, ever: what crosses the
+  process boundary is the spec, and trace *content* reaches workers through
+  shared memory.  Each worker memoises the traces *and system instances*
+  it has built.
 
-Memoisation details:
+Trace distribution (workers > 1):
 
-* Systems are reused across the grid points that share their construction
-  parameters — the dynamic-cache systems reset their scratchpads in place
-  (one dense ``rows_per_table`` Hit-Map allocation per worker per
-  (system, scale) instead of ~320 MB of fresh index per grid point at paper
-  scale).
-* When ``REPRO_TRACE_CACHE`` names a directory, materialised traces are
-  also memoised to disk as ``.npz`` archives (:mod:`repro.data.io`), so a
-  worker pool regenerates each synthetic trace at most once across
-  processes *and* across sweeps.  ``run_grid`` gives its workers a shared
-  per-grid temporary cache automatically (deleted when the grid
-  finishes); the serial path — and anything persistent across runs —
-  touches the disk only when the variable is set explicitly.
+* **Shared memory (the default)** — the parent materialises each unique
+  trace of the grid once, publishes its stacked sparse-ID array in a
+  ``multiprocessing.shared_memory`` segment, and ships workers only the
+  segment name + shape.  Workers map the segment and build zero-copy
+  ``MiniBatch`` views, so a pool of N workers holds one copy of each trace
+  instead of N, and worker start-up serialises kilobytes of specs rather
+  than megabytes of trace.
+* **On-disk cache (opt-in)** — when ``REPRO_TRACE_CACHE`` names a
+  directory, traces are memoised to ``.npz`` archives there instead
+  (:mod:`repro.data.io`), surviving across runs.  The user owns
+  invalidation of a persistent cache.
+
+Systems are reused across the grid points that share their construction
+parameters — the dynamic-cache systems reset their scratchpads in place
+(one dense ``rows_per_table`` Hit-Map allocation per worker per
+(system, scale) instead of ~320 MB of fresh index per grid point at paper
+scale).
 """
 
 from __future__ import annotations
 
 import os
-import shutil
-import tempfile
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, List, Optional, Sequence
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.data.io import materialise_cached
-from repro.data.trace import MaterialisedDataset, make_dataset
+from repro.data.scenarios import ScenarioSpec, build_scenario
+from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
 from repro.systems.base import TrainingSystem
@@ -53,14 +62,31 @@ from repro.systems.scratchpipe_system import ScratchPipeSystem
 from repro.systems.static_cache import StaticCacheSystem
 from repro.systems.strawman_system import StrawmanSystem
 
-#: Result metrics a sweep point can request from a ``SystemRunResult``.
-METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means")
+#: Result metrics a sweep point can request.  The ``SystemRunResult``
+#: reductions work for every system; ``hit_rate`` streams the metadata
+#: pipeline and is only meaningful for the dynamic-cache ScratchPipe.
+METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means",
+           "hit_rate")
 
 #: System names the grid runner can instantiate.
 SYSTEMS = ("hybrid", "static_cache", "strawman", "scratchpipe")
 
 #: Environment variable naming the on-disk trace cache directory.
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+#: Optional directory where every trace *generation* drops a marker file —
+#: the observability hook the serialisation/regeneration-counting tests
+#: use to prove workers map shared memory instead of regenerating (or
+#: receiving pickled) traces.
+TRACE_GEN_LOG_ENV = "REPRO_TRACE_GEN_LOG"
+
+#: Trace key: everything a worker needs to regenerate a trace from scratch.
+TraceKey = Tuple[ModelConfig, str, int, int, Optional[ScenarioSpec]]
+
+#: Worker-global registry of shared-memory traces: key -> (name, shape).
+_SHM_MANIFEST: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
+#: Attached segments, pinned so the zero-copy batch views stay valid.
+_SHM_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
 
 
 @dataclass(frozen=True)
@@ -77,9 +103,12 @@ class SweepPoint:
         config: Model geometry.
         hardware: Node being modelled.
         warmup: Iterations excluded from the steady-state metric.
-        metric: Which ``SystemRunResult`` reduction to return
-            (one of :data:`METRICS`).
+        metric: Which reduction to return (one of :data:`METRICS`).
         policy_name: Replacement policy for the dynamic-cache systems.
+        scenario: Optional time-varying workload.  ``None`` (the default)
+            is the legacy stationary path; a :class:`ScenarioSpec` runs the
+            point under that scenario's processes with the point's
+            ``locality`` as the base skew.
     """
 
     system: str
@@ -92,6 +121,7 @@ class SweepPoint:
     warmup: int = 0
     metric: str = "mean_latency"
     policy_name: str = "lru"
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -102,23 +132,104 @@ class SweepPoint:
             raise ValueError(
                 f"unknown metric {self.metric!r}; expected one of {METRICS}"
             )
+        if self.metric == "hit_rate" and self.system != "scratchpipe":
+            raise ValueError(
+                "the hit_rate metric streams the ScratchPipe metadata "
+                f"pipeline and is not defined for {self.system!r}"
+            )
+
+    @property
+    def trace_key(self) -> TraceKey:
+        """Everything that determines this point's trace content.
+
+        Stationary specs normalise to ``None`` — they generate traces
+        bit-identical to the legacy path, so giving them a distinct key
+        would duplicate cache entries and shared-memory segments.
+        """
+        effective = self.scenario
+        if effective is not None:
+            if effective.is_stationary:
+                effective = None
+            else:
+                effective = effective.with_locality(self.locality)
+        return (self.config, self.locality, self.seed, self.num_batches,
+                effective)
 
 
-@lru_cache(maxsize=8)
-def _cached_trace(
-    config: ModelConfig, locality: str, seed: int, num_batches: int
-) -> MaterialisedDataset:
-    """Materialise (and memoise, per process) one benchmark trace.
+def _log_trace_generation(key: TraceKey) -> None:
+    log_dir = os.environ.get(TRACE_GEN_LOG_ENV)
+    if not log_dir:
+        return
+    marker = os.path.join(log_dir, f"gen-{os.getpid()}-{uuid.uuid4().hex}")
+    with open(marker, "w", encoding="utf-8") as fh:
+        fh.write(repr(key))
 
-    With :data:`TRACE_CACHE_ENV` set, the materialised batches are also
-    round-tripped through an on-disk archive shared by every process.
-    """
-    cache_dir = os.environ.get(TRACE_CACHE_ENV)
-    if cache_dir:
-        return materialise_cached(config, locality, seed, num_batches, cache_dir)
+
+def _generate_trace(key: TraceKey) -> MaterialisedDataset:
+    """Materialise one trace from its key (generation, not lookup)."""
+    config, locality, seed, num_batches, scenario = key
+    _log_trace_generation(key)
+    if scenario is not None and not scenario.is_stationary:
+        source = build_scenario(
+            config, scenario, seed=seed, num_batches=num_batches
+        )
+        return MaterialisedDataset(source)
     return MaterialisedDataset(
         make_dataset(config, locality, seed=seed, num_batches=num_batches)
     )
+
+
+def _attach_shared_trace(key: TraceKey) -> Optional[MaterialisedDataset]:
+    """Map a parent-published trace segment into zero-copy batches."""
+    entry = _SHM_MANIFEST.get(key)
+    if entry is None:
+        return None
+    name, shape = entry
+    if name in _SHM_ATTACHED:
+        segment = _SHM_ATTACHED[name]
+    else:
+        segment = shared_memory.SharedMemory(name=name)
+        # The parent owns the segment's lifetime.  Under the spawn start
+        # method each worker has its own resource tracker which would
+        # tear the segment down (or warn) at worker exit, so the attach is
+        # unregistered there (fixed upstream in 3.13 via track=False).
+        # Under fork the tracker process is shared with the parent and its
+        # registrations form a set — the worker's duplicate register is a
+        # no-op and unregistering would cancel the parent's entry.
+        try:  # pragma: no cover - depends on interpreter internals
+            import multiprocessing
+
+            if multiprocessing.get_start_method(allow_none=True) != "fork":
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        _SHM_ATTACHED[name] = segment
+    stacked = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+    config = key[0]
+    batches = [
+        MiniBatch(index=i, sparse_ids=stacked[i]) for i in range(shape[0])
+    ]
+    return MaterialisedDataset.from_batches(config, batches)
+
+
+@lru_cache(maxsize=8)
+def _cached_trace(key: TraceKey) -> MaterialisedDataset:
+    """Resolve (and memoise, per process) one benchmark trace.
+
+    Resolution order: parent-published shared memory (zero-copy), then the
+    on-disk archive cache when :data:`TRACE_CACHE_ENV` is set, then
+    regeneration from the key.
+    """
+    shared = _attach_shared_trace(key)
+    if shared is not None:
+        return shared
+    config, locality, seed, num_batches, scenario = key
+    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    if cache_dir and (scenario is None or scenario.is_stationary):
+        return materialise_cached(config, locality, seed, num_batches, cache_dir)
+    return _generate_trace(key)
 
 
 @lru_cache(maxsize=8)
@@ -158,16 +269,78 @@ def _build_system(point: SweepPoint) -> TrainingSystem:
 
 def run_point(point: SweepPoint) -> Any:
     """Evaluate one sweep point: build trace + system, run, reduce."""
-    trace = _cached_trace(
-        point.config, point.locality, point.seed, point.num_batches
-    )
-    result = _build_system(point).run_trace(trace)
+    trace = _cached_trace(point.trace_key)
+    system = _build_system(point)
+    if point.metric == "hit_rate":
+        return system.aggregate_cache_stats(
+            trace, warmup=point.warmup
+        ).hit_rate
+    result = system.run_trace(trace)
     return getattr(result, point.metric)(warmup=point.warmup)
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(
+    cache_dir: Optional[str],
+    manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
+) -> None:
     if cache_dir:
         os.environ[TRACE_CACHE_ENV] = cache_dir
+    _SHM_MANIFEST.update(manifest)
+    # Under the fork start method the worker inherits the parent's memo
+    # caches — including any traces the parent materialised while
+    # publishing shared memory.  Drop them so workers resolve traces
+    # through the shared segments (one copy pool-wide) instead of keeping
+    # inherited private copies alive.
+    _cached_trace.cache_clear()
+    _cached_system.cache_clear()
+
+
+def _disk_cacheable(key: TraceKey) -> bool:
+    """Whether :func:`materialise_cached` can serve this trace key."""
+    scenario = key[4]
+    return scenario is None or scenario.is_stationary
+
+
+def _publish_shared_traces(
+    points: Sequence[SweepPoint],
+    manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
+    segments: List[shared_memory.SharedMemory],
+    skip_disk_cacheable: bool,
+) -> None:
+    """Materialise each unique trace once and publish it in shared memory.
+
+    Fills the caller-owned ``manifest`` (handed to workers) and
+    ``segments`` (unlinked by the caller once the pool is done) in place,
+    so segments created before a mid-publish failure are still released.
+    The parent pays one generation per unique trace — the same total work
+    one worker would have done — and every worker maps, rather than
+    copies, the result.  With ``skip_disk_cacheable`` (an explicit
+    ``REPRO_TRACE_CACHE``), only the keys the disk cache *cannot* serve —
+    non-stationary scenario traces — are published.
+    """
+    for point in points:
+        key = point.trace_key
+        if key in manifest:
+            continue
+        if skip_disk_cacheable and _disk_cacheable(key):
+            continue
+        trace = _cached_trace(key)
+        first = trace.batch(0)
+        if first.dense is not None:
+            # Sweep traces are ID-only today; a dense-bearing trace falls
+            # back to per-worker regeneration rather than silently
+            # publishing a sparse-only copy.
+            continue
+        # Fill the segment batch-by-batch: stacking first would briefly
+        # hold a second full copy of the trace in the parent.
+        shape = (len(trace),) + first.sparse_ids.shape
+        nbytes = int(np.prod(shape)) * np.dtype(np.int64).itemsize
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        segments.append(segment)
+        view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
+        for i in range(len(trace)):
+            view[i] = trace.batch(i).sparse_ids
+        manifest[key] = (segment.name, shape)
 
 
 def run_grid(
@@ -190,26 +363,36 @@ def run_grid(
     if workers == 1 or len(points) <= 1:
         return [run_point(point) for point in points]
     workers = min(workers, len(points))
-    # Contiguous chunks keep the points sharing a trace in one worker, so
-    # each worker materialises each of its traces once; the shared on-disk
-    # cache deduplicates trace generation across workers.  With no
-    # user-provided cache directory the cache lives only for this grid (a
-    # fresh temp dir, deleted afterwards) — a persistent cache is keyed
-    # only by trace parameters, so surviving across code changes would
-    # silently undermine the workers>1 == workers=1 guarantee; users who
-    # set REPRO_TRACE_CACHE own that invalidation themselves.
+    # Contiguous chunks keep the points sharing a trace in one worker;
+    # shared memory deduplicates trace *content* across the pool, so each
+    # worker's cost per trace is an mmap + unique-set precompute, not a
+    # regeneration.  An explicit REPRO_TRACE_CACHE keeps the persistent
+    # on-disk path for the traces it can serve (the user owns its
+    # invalidation); scenario traces, which the disk cache cannot key,
+    # still go through shared memory.
     chunksize = -(-len(points) // workers)
     cache_dir = os.environ.get(TRACE_CACHE_ENV)
-    ephemeral = None
-    if not cache_dir:
-        ephemeral = cache_dir = tempfile.mkdtemp(prefix="repro-trace-cache-")
+    manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
+    segments: List[shared_memory.SharedMemory] = []
     try:
+        _publish_shared_traces(
+            points, manifest, segments, skip_disk_cacheable=bool(cache_dir)
+        )
+        # The parent runs no points itself when workers > 1; dropping its
+        # memoised traces here leaves the shared segments as the only
+        # copy instead of pinning a private duplicate (arrays + unique
+        # sets) in the parent for the life of the process.
+        _cached_trace.cache_clear()
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(cache_dir,),
+            initargs=(cache_dir, manifest),
         ) as pool:
             return list(pool.map(run_point, points, chunksize=chunksize))
     finally:
-        if ephemeral is not None:
-            shutil.rmtree(ephemeral, ignore_errors=True)
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass

@@ -9,9 +9,16 @@ Usage::
     python -m repro.cli fig6
     python -m repro.cli overhead
     python -m repro.cli compare --locality medium --cache 0.02
+    python -m repro.cli --scenario fast-drift fig13 --fractions 0.02
+    python -m repro.cli --drift-rate 16 compare --locality high
+    python -m repro.cli driftsweep --rates 0 1 16 64
+    python -m repro.cli scenarios
 
 Every subcommand prints the same rows/series the corresponding paper table
-or figure reports, using the calibrated analytic timing model.
+or figure reports, using the calibrated analytic timing model.  The global
+``--scenario`` / ``--drift-rate`` flags re-run any figure under a
+time-varying workload (see :mod:`repro.data.scenarios`); omitting them
+keeps the stationary legacy traces bit-identical.
 """
 
 from __future__ import annotations
@@ -34,20 +41,58 @@ from repro.analysis.experiments import (
     replacement_policy_sensitivity,
     table1_cost,
 )
+from repro.analysis.experiments import drift_sensitivity, scenario_comparison
 from repro.analysis.report import banner, format_breakdown, format_table
 from repro.data.datasets import LOCALITY_CLASSES
+from repro.data.scenarios import (
+    SCENARIO_PRESETS,
+    DriftSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    scenario_by_name,
+)
 from repro.systems.hybrid import HybridSystem
 from repro.systems.scratchpipe_system import ScratchPipeSystem
 from repro.systems.static_cache import StaticCacheSystem
 from repro.systems.strawman_system import StrawmanSystem
 
 
+def _scenario(args: argparse.Namespace) -> "ScenarioSpec | None":
+    spec = None
+    try:
+        if getattr(args, "scenario", None):
+            spec = scenario_by_name(args.scenario)
+        if getattr(args, "drift_rate", None) is not None:
+            base = spec or ScenarioSpec()
+            import dataclasses
+
+            # Rate 0 is the documented drift-free baseline (as in
+            # drift_sensitivity), not an error.
+            drift = DriftSpec(rate=args.drift_rate) if args.drift_rate else None
+            spec = dataclasses.replace(base, drift=drift)
+    except ScenarioSpecError as error:
+        raise SystemExit(f"invalid scenario: {error}") from None
+    return spec
+
+
 def _setup(args: argparse.Namespace) -> ExperimentSetup:
-    return ExperimentSetup(num_batches=args.batches)
+    return ExperimentSetup(num_batches=args.batches, scenario=_scenario(args))
+
+
+def _reject_scenario_flags(args: argparse.Namespace, what: str) -> None:
+    """Fail loudly where a scenario cannot apply, instead of silently
+    printing stationary numbers under a scenario-labelled invocation."""
+    if (getattr(args, "scenario", None)
+            or getattr(args, "drift_rate", None) is not None):
+        raise SystemExit(
+            f"{what} does not consume traces, so the global "
+            "--scenario/--drift-rate flags do not apply to it"
+        )
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
     """Figure 6: static hit rate vs cache size."""
+    _reject_scenario_flags(args, "fig6 (analytic hit-rate curves)")
     fractions, curves = fig6_hit_rate(
         cache_fractions=np.linspace(0.02, 1.0, args.points)
     )
@@ -165,6 +210,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
 
 def cmd_overhead(args: argparse.Namespace) -> None:
     """Section VI-D: scratchpad memory overhead."""
+    _reject_scenario_flags(args, "overhead (storage sizing)")
     out = overhead_vi_d()
     print(banner("Section VI-D: GPU scratchpad overhead"))
     print(format_table(
@@ -201,8 +247,58 @@ def cmd_compare(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_driftsweep(args: argparse.Namespace) -> None:
+    """Hit rate vs hot-set drift rate (locality-sensitivity study)."""
+    out = drift_sensitivity(
+        _setup(args),
+        drift_rates=tuple(args.rates),
+        cache_fraction=args.cache,
+        localities=tuple(args.localities),
+        workers=args.workers,
+    )
+    print(banner("ScratchPipe hit rate vs hot-set drift rate (rows/batch)"))
+    rates = tuple(args.rates)
+    print(format_table(
+        ["locality"] + [f"rate={r:g}" for r in rates],
+        [
+            [loc] + [f"{per_rate[r]:.1%}" for r in rates]
+            for loc, per_rate in out.items()
+        ],
+    ))
+
+
+def cmd_scenarios(args: argparse.Namespace) -> None:
+    """ScratchPipe behaviour across the named scenario presets."""
+    if args.scenario or args.drift_rate is not None:
+        raise SystemExit(
+            "the scenarios subcommand compares every preset; the global "
+            "--scenario/--drift-rate flags do not apply to it"
+        )
+    specs = {name: SCENARIO_PRESETS[name] for name in sorted(SCENARIO_PRESETS)}
+    out = scenario_comparison(
+        specs,
+        _setup(args),
+        cache_fraction=args.cache,
+        locality=args.locality,
+        workers=args.workers,
+    )
+    print(banner(
+        f"Scenario matrix — {args.locality} base locality, "
+        f"{args.cache:.0%} cache"
+    ))
+    print(format_table(
+        ["scenario", "ms/iter", "plan hit rate"],
+        [
+            [name, f"{row['mean_latency'] * 1e3:.2f}",
+             f"{row['hit_rate']:.1%}"]
+            for name, row in out.items()
+        ],
+    ))
+
+
 def cmd_validate(args: argparse.Namespace) -> None:
     """Cross-validate the analytic model against the functional simulator."""
+    _reject_scenario_flags(args, "validate (fixed cross-check workloads)")
     from repro.analysis.validation import run_validation_suite
     from repro.model.config import ModelConfig
 
@@ -269,6 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="processes for sweep grids (1 = serial "
                              "reference path; results are identical for "
                              "any worker count)")
+    parser.add_argument("--scenario", default=None,
+                        choices=sorted(SCENARIO_PRESETS),
+                        help="run the experiment under a named "
+                             "time-varying workload scenario")
+    parser.add_argument("--drift-rate", type=float, default=None,
+                        help="shortcut: add hot-set drift at this rate "
+                             "(rows/batch) to the scenario")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig6", help="static hit-rate curves")
@@ -312,6 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--locality", default="medium")
     p.add_argument("--cache", type=float, default=0.02)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("driftsweep", help="hit rate vs hot-set drift rate")
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.0, 1.0, 4.0, 16.0, 64.0])
+    p.add_argument("--cache", type=float, default=0.02)
+    p.add_argument("--localities", nargs="+", default=["medium", "high"])
+    p.set_defaults(func=cmd_driftsweep)
+
+    p = sub.add_parser("scenarios", help="scenario-matrix comparison")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.add_argument("--locality", default="medium")
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("validate", help="model-vs-simulator cross-checks")
     p.set_defaults(func=cmd_validate)

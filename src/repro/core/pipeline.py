@@ -16,7 +16,7 @@ show the monitor *does* catch the hazards the windows exist to prevent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -498,8 +498,27 @@ class ScratchPipePipeline:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, num_batches: Optional[int] = None) -> PipelineResult:
-        """Run the pipeline over ``num_batches`` (default: whole trace)."""
+    def stream(
+        self,
+        num_batches: Optional[int] = None,
+        losses: Optional[List[float]] = None,
+    ) -> Iterator[BatchCacheStats]:
+        """Run the pipeline, yielding each batch's stats as it retires.
+
+        The streaming twin of :meth:`run`: identical cycle-by-cycle
+        behaviour (``run`` is implemented on top of this generator), but
+        per-batch statistics are handed to the caller instead of
+        accumulated, so a million-batch scenario flows through in constant
+        memory — the pipeline itself only ever holds its six in-flight
+        batches.  Batches retire in trace order.
+
+        Args:
+            num_batches: Prefix length (default: whole trace).
+            losses: Optional caller-owned list that receives each
+                functional-mode training loss.  Kept per-invocation (not
+                on the pipeline object) so interleaved or abandoned
+                streams cannot contaminate one another.
+        """
         total = len(self.dataset_batches)
         if num_batches is None:
             num_batches = total
@@ -509,20 +528,19 @@ class ScratchPipePipeline:
             )
 
         in_flight: Dict[int, _InFlight] = {}
-        cache_stats: List[BatchCacheStats] = []
-        losses: List[float] = []
 
         last_cycle = num_batches - 1 + len(STAGES) - 1
         for cycle in range(last_cycle + 1):
             # Oldest stage first; window disjointness (verified by the
             # monitor) makes intra-cycle order immaterial for correctness.
             train_idx = cycle - 5
+            retired: Optional[BatchCacheStats] = None
             if 0 <= train_idx < num_batches:
                 record = in_flight.pop(train_idx)
                 loss = self._do_train(record)
-                if loss is not None:
+                if loss is not None and losses is not None:
                     losses.append(loss)
-                cache_stats.append(self._stats_for(record))
+                retired = self._stats_for(record)
             insert_idx = cycle - 4
             if 0 <= insert_idx < num_batches:
                 self._do_insert(in_flight[insert_idx])
@@ -541,8 +559,13 @@ class ScratchPipePipeline:
             self._evict_batches_before(oldest)
             if self.monitor is not None:
                 self.monitor.on_cycle_end(cycle)
+            if retired is not None:
+                yield retired
 
-        cache_stats.sort(key=lambda s: s.batch_index)
+    def run(self, num_batches: Optional[int] = None) -> PipelineResult:
+        """Run the pipeline over ``num_batches`` (default: whole trace)."""
+        losses: List[float] = []
+        cache_stats = list(self.stream(num_batches, losses=losses))
         return PipelineResult(
             cache_stats=cache_stats,
             losses=losses,

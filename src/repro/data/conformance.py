@@ -1,0 +1,187 @@
+"""Statistical conformance checks for workload generators.
+
+Every scenario generator ships with a seeded test asserting that its
+empirical access frequencies match the configured process.  The helpers
+here implement the two classic goodness-of-fit statistics — Pearson's
+chi-squared over binned rank counts and the Kolmogorov–Smirnov distance
+over the rank CDF — plus their critical values, self-contained on numpy so
+the test suite does not grow a scipy dependency.
+
+The chi-squared quantile uses the Wilson–Hilferty cube-root approximation
+(accurate to a few per mil for the degrees of freedom these tests use); the
+KS critical value is the standard asymptotic ``sqrt(-ln(alpha/2) / (2n))``.
+Both are used with small ``alpha`` (default 1e-6) so the seeded tests sit
+far from the rejection boundary: a passing generator passes forever, and a
+broken one (wrong exponent, off-by-one hot set, mis-scaled burst share)
+fails by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GofResult:
+    """Outcome of a goodness-of-fit check.
+
+    Attributes:
+        statistic: The computed test statistic.
+        critical: Rejection threshold at the configured significance.
+        ok: ``statistic <= critical``.
+    """
+
+    statistic: float
+    critical: float
+
+    @property
+    def ok(self) -> bool:
+        return self.statistic <= self.critical
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal quantile via the Acklam rational approximation.
+
+    Absolute error < 1.2e-9 over (0, 1) — more than enough for test
+    thresholds.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1.0)
+
+
+def chi_squared_critical(dof: int, alpha: float = 1e-6) -> float:
+    """Upper-``alpha`` chi-squared quantile (Wilson–Hilferty)."""
+    if dof < 1:
+        raise ValueError(f"dof must be >= 1, got {dof}")
+    z = normal_quantile(1.0 - alpha)
+    h = 2.0 / (9.0 * dof)
+    return dof * (1.0 - h + z * math.sqrt(h)) ** 3
+
+
+def bin_tail(
+    counts: np.ndarray, probs: np.ndarray, min_expected: float, total: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge trailing cells until every expected count is adequate.
+
+    Pearson's statistic needs expected counts of at least ~5 per cell;
+    power-law rank distributions have huge low-probability tails, so the
+    cold cells are merged (in the given order) into aggregate bins.
+    """
+    expected = probs * total
+    out_counts = []
+    out_probs = []
+    acc_c = 0.0
+    acc_p = 0.0
+    for c, p, e in zip(counts, probs, expected):
+        acc_c += c
+        acc_p += p
+        if acc_p * total >= min_expected:
+            out_counts.append(acc_c)
+            out_probs.append(acc_p)
+            acc_c = 0.0
+            acc_p = 0.0
+    if acc_p > 0:
+        if out_counts:
+            out_counts[-1] += acc_c
+            out_probs[-1] += acc_p
+        else:
+            out_counts.append(acc_c)
+            out_probs.append(acc_p)
+    return np.asarray(out_counts, dtype=np.float64), np.asarray(
+        out_probs, dtype=np.float64
+    )
+
+
+def chi_squared_gof(
+    observed_counts: Sequence[float],
+    expected_probs: Sequence[float],
+    alpha: float = 1e-6,
+    min_expected: float = 5.0,
+) -> GofResult:
+    """Pearson chi-squared test of counts against a discrete model.
+
+    ``expected_probs`` must cover the full sample space (sum to 1 up to
+    floating error); sparse tails are merged via :func:`bin_tail`.
+    """
+    counts = np.asarray(observed_counts, dtype=np.float64)
+    probs = np.asarray(expected_probs, dtype=np.float64)
+    if counts.shape != probs.shape:
+        raise ValueError(
+            f"shape mismatch: counts {counts.shape} vs probs {probs.shape}"
+        )
+    total_p = probs.sum()
+    if not math.isclose(total_p, 1.0, rel_tol=0, abs_tol=1e-6):
+        raise ValueError(f"expected_probs must sum to 1, got {total_p}")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("observed_counts must contain samples")
+    counts, probs = bin_tail(counts, probs, min_expected, int(total))
+    if counts.size < 2:
+        raise ValueError(
+            "fewer than two bins after merging; increase the sample size"
+        )
+    expected = probs * total
+    statistic = float(((counts - expected) ** 2 / expected).sum())
+    return GofResult(
+        statistic=statistic,
+        critical=chi_squared_critical(counts.size - 1, alpha),
+    )
+
+
+def ks_critical(n: int, alpha: float = 1e-6) -> float:
+    """Asymptotic two-sided Kolmogorov–Smirnov critical distance."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return math.sqrt(-math.log(alpha / 2.0) / (2.0 * n))
+
+
+def ks_gof(
+    samples: np.ndarray, model_cdf: np.ndarray, alpha: float = 1e-6
+) -> GofResult:
+    """KS distance of integer samples against a model CDF over [0, K).
+
+    ``model_cdf[k]`` is ``P(X <= k)``.  For discrete models the KS test is
+    conservative (the true rejection rate is below ``alpha``), which is the
+    safe direction for a regression test.
+    """
+    samples = np.asarray(samples).reshape(-1)
+    if samples.size == 0:
+        raise ValueError("samples must be non-empty")
+    k = len(model_cdf)
+    counts = np.bincount(samples, minlength=k)
+    if counts.size > k:
+        raise ValueError("samples exceed the model's support")
+    empirical_cdf = np.cumsum(counts) / samples.size
+    statistic = float(np.abs(empirical_cdf - np.asarray(model_cdf)).max())
+    return GofResult(
+        statistic=statistic, critical=ks_critical(samples.size, alpha)
+    )

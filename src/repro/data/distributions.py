@@ -22,6 +22,18 @@ from dataclasses import dataclass
 import numpy as np
 
 
+class InvalidZipfExponentError(ValueError):
+    """A Zipf exponent outside the analytic sampler's (0, 1) domain.
+
+    ``alpha <= 0`` breaks the power-law normalisation (``alpha = 0``
+    degenerates every rank weight to the same value and the closed-form
+    hit-rate/pdf expressions to 0/NaN), and ``alpha >= 1`` makes the
+    continuous inverse-CDF transform ``u ** (1 / (1 - alpha))`` blow up.
+    Raised by name so callers can distinguish a bad workload parameter from
+    other configuration errors.
+    """
+
+
 class AccessDistribution:
     """Interface: a probability distribution over ``num_rows`` row IDs."""
 
@@ -29,6 +41,15 @@ class AccessDistribution:
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``n`` row IDs as an int64 array."""
+        raise NotImplementedError
+
+    def rank_of_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Map uniform(0,1) draws to row ranks through the inverse CDF.
+
+        Exposing the transform separately from :meth:`sample` lets scenario
+        processes share one array of uniforms across tables (correlated
+        lookups) while each table keeps its own skew.
+        """
         raise NotImplementedError
 
     def hit_rate(self, cache_fraction: float) -> float:
@@ -53,6 +74,10 @@ class UniformDistribution(AccessDistribution):
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(0, self.num_rows, size=n, dtype=np.int64)
+
+    def rank_of_uniform(self, u: np.ndarray) -> np.ndarray:
+        ranks = np.floor(self.num_rows * u)
+        return np.minimum(ranks, self.num_rows - 1).astype(np.int64)
 
     def hit_rate(self, cache_fraction: float) -> float:
         return float(np.clip(cache_fraction, 0.0, 1.0))
@@ -82,16 +107,31 @@ class ZipfDistribution(AccessDistribution):
     def __post_init__(self) -> None:
         if self.num_rows < 1:
             raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
-        if not 0.0 < self.exponent < 1.0:
-            raise ValueError(
+        if not np.isfinite(self.exponent) or not 0.0 < self.exponent < 1.0:
+            raise InvalidZipfExponentError(
                 "exponent must be in (0, 1) for the analytic sampler, "
                 f"got {self.exponent}"
             )
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        u = rng.random(n)
+        return self.rank_of_uniform(rng.random(n))
+
+    def rank_of_uniform(self, u: np.ndarray) -> np.ndarray:
         ranks = np.floor(self.num_rows * u ** (1.0 / (1.0 - self.exponent)))
         return np.minimum(ranks, self.num_rows - 1).astype(np.int64)
+
+    def rank_pmf(self, ranks: np.ndarray) -> np.ndarray:
+        """Exact probability mass the sampler assigns to each given rank.
+
+        The inverse-CDF transform lands on rank ``r`` iff
+        ``u in [(r/N)^(1-s), ((r+1)/N)^(1-s))``, so the induced pmf is
+        ``((r+1)^(1-s) - r^(1-s)) / N^(1-s)`` — this is the ground truth
+        the statistical conformance tests check empirical counts against
+        (``sorted_pdf`` is only the large-``N`` density approximation).
+        """
+        r = np.asarray(ranks, dtype=np.float64)
+        beta = 1.0 - self.exponent
+        return ((r + 1.0) ** beta - r ** beta) / self.num_rows ** beta
 
     def hit_rate(self, cache_fraction: float) -> float:
         f = float(np.clip(cache_fraction, 0.0, 1.0))

@@ -17,7 +17,12 @@ from typing import List, Union
 
 import numpy as np
 
-from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
+from repro.data.trace import (
+    MaterialisedDataset,
+    MiniBatch,
+    TraceSource,
+    make_dataset,
+)
 from repro.model.config import ModelConfig
 
 #: Format marker stored inside every trace archive.
@@ -59,11 +64,11 @@ def save_trace(
     np.savez_compressed(Path(path), **payload)
 
 
-class TraceFile:
-    """A saved trace, exposing the dataset protocol (``batch(i)``, ``len``).
+class TraceFile(TraceSource):
+    """A saved trace, exposing the :class:`TraceSource` protocol.
 
     Drop-in replacement for :class:`repro.data.trace.SyntheticDataset` in
-    every system/pipeline API.
+    every system/pipeline API, including chunk-wise streaming.
     """
 
     def __init__(self, path: Union[str, Path]):

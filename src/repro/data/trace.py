@@ -1,4 +1,4 @@
-"""Synthetic training-trace generation.
+"""Synthetic training-trace generation and the streaming trace protocol.
 
 A *trace* is the sequence of sparse-feature ID mini-batches a RecSys training
 job consumes.  The paper's central observation is that this sequence is
@@ -7,6 +7,13 @@ ScratchPipe "look forward".  We therefore generate traces that are *randomly
 accessible by batch index*: any batch can be materialised deterministically
 from ``(seed, batch_index)``, which is exactly the property a dataset file
 on disk has.
+
+Every batch source in the repo implements the :class:`TraceSource`
+protocol: random access by index (``batch(i)``/``__len__``) plus chunk-wise
+streaming (``iter_chunks``) and ``reset()``.  Streaming is what keeps
+million-batch scenario runs at constant memory — consumers hold one chunk
+(or, for the pipeline, one sliding window) at a time instead of the whole
+trace.
 """
 
 from __future__ import annotations
@@ -19,6 +26,11 @@ import numpy as np
 from repro.data.datasets import locality_distribution
 from repro.data.distributions import AccessDistribution
 from repro.model.config import ModelConfig
+
+#: Default batches per streamed chunk: large enough to amortise per-chunk
+#: overhead, small enough that a chunk of paper-scale batches stays far
+#: below the materialised-trace footprint it replaces.
+DEFAULT_CHUNK_BATCHES = 256
 
 
 def _sorted_unique(ids: np.ndarray) -> np.ndarray:
@@ -90,8 +102,62 @@ class MiniBatch:
         return ids
 
 
+class TraceSource:
+    """Protocol every batch source implements: random access + streaming.
+
+    Required: ``__len__`` and :meth:`batch`.  The streaming surface
+    (:meth:`iter_chunks`, :meth:`reset`, ``__iter__``) has default
+    implementations in terms of random access, so deterministic sources
+    (synthetic datasets, scenario engines, trace archives) get chunk-wise
+    emission for free; stateful sources (file readers) override
+    :meth:`reset` to rewind.
+
+    The contract streaming consumers rely on — and the equivalence tests
+    pin — is that ``iter_chunks`` emits exactly the batches ``batch(0..n)``
+    would return, bit-identically, including after ``reset()`` and across
+    re-iteration.
+    """
+
+    config: ModelConfig
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def batch(self, index: int) -> MiniBatch:
+        """Materialise batch ``index``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Rewind any internal cursor; a no-op for random-access sources."""
+
+    def iter_chunks(
+        self, chunk_batches: int = DEFAULT_CHUNK_BATCHES
+    ) -> Iterator[List[MiniBatch]]:
+        """Yield the trace as consecutive lists of ``chunk_batches`` batches.
+
+        Constant-memory by construction: each chunk is materialised only
+        when requested and nothing is retained between chunks.
+        """
+        if chunk_batches < 1:
+            raise ValueError(
+                f"chunk_batches must be >= 1, got {chunk_batches}"
+            )
+        total = len(self)
+        for start in range(0, total, chunk_batches):
+            yield [
+                self.batch(i) for i in range(start, min(start + chunk_batches, total))
+            ]
+
+    def __getitem__(self, index: int) -> MiniBatch:
+        return self.batch(index)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+
 @dataclass(frozen=True)
-class SyntheticDataset:
+class SyntheticDataset(TraceSource):
     """Deterministic, randomly-accessible synthetic training dataset.
 
     Args:
@@ -160,15 +226,8 @@ class SyntheticDataset:
             labels = (rng.random(cfg.batch_size) < 0.5).astype(np.float32)
         return MiniBatch(index=index, sparse_ids=ids, dense=dense, labels=labels)
 
-    def __getitem__(self, index: int) -> MiniBatch:
-        return self.batch(index)
 
-    def __iter__(self) -> Iterator[MiniBatch]:
-        for index in range(self.num_batches):
-            yield self.batch(index)
-
-
-class MaterialisedDataset:
+class MaterialisedDataset(TraceSource):
     """A trace prefix held in memory.
 
     Experiments run several systems over the *same* batches; materialising
@@ -176,10 +235,14 @@ class MaterialisedDataset:
     because :meth:`MiniBatch.unique_table_ids` caches on the batch object —
     the per-table sorted-unique ID sets are likewise computed once and
     shared by every system that replays the trace.
-    Implements the same ``batch(i)`` / ``__len__`` protocol datasets do.
+
+    Sits on top of any :class:`TraceSource` — the batches are drawn through
+    the source's chunked streaming interface (one-shot materialisation is
+    just "keep every chunk"), so anything that can stream can also be
+    pinned in memory when an experiment replays it many times.
     """
 
-    def __init__(self, dataset: SyntheticDataset, num_batches: Optional[int] = None):
+    def __init__(self, dataset: TraceSource, num_batches: Optional[int] = None):
         total = len(dataset)
         num_batches = total if num_batches is None else num_batches
         if not 0 < num_batches <= total:
@@ -187,7 +250,18 @@ class MaterialisedDataset:
                 f"num_batches must be in [1, {total}], got {num_batches}"
             )
         self.config = dataset.config
-        self._batches = [dataset.batch(i) for i in range(num_batches)]
+        dataset.reset()
+        batches: List[MiniBatch] = []
+        # Capping the chunk size at the requested prefix keeps short
+        # materialisations from generating (and discarding) a full
+        # default-sized chunk.
+        chunk_batches = min(DEFAULT_CHUNK_BATCHES, num_batches)
+        for chunk in dataset.iter_chunks(chunk_batches=chunk_batches):
+            remaining = num_batches - len(batches)
+            batches.extend(chunk[:remaining])
+            if len(batches) >= num_batches:
+                break
+        self._batches = batches
         self._precompute_uniques()
 
     def _precompute_uniques(self) -> None:

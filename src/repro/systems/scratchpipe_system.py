@@ -107,6 +107,29 @@ def make_scratchpads(
     ]
 
 
+@dataclass
+class AggregateCacheStats:
+    """Running totals of a streamed metadata run.
+
+    Attributes mirror the per-batch :class:`BatchCacheStats` counters,
+    summed over every retired batch past the warm-up prefix.
+    """
+
+    batches: int = 0
+    total_lookups: int = 0
+    unique_ids: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over unique planned IDs (the Plan-stage hit rate)."""
+        if self.unique_ids == 0:
+            return 0.0
+        return self.hits / self.unique_ids
+
+
 class ScratchPipeSystem(TrainingSystem):
     """Timing model of the pipelined ScratchPipe design point."""
 
@@ -170,6 +193,57 @@ class ScratchPipeSystem(TrainingSystem):
             monitor=monitor,
         )
         return pipeline.run(num_batches).cache_stats
+
+    def stream_cache_stats(
+        self,
+        dataset_batches: object,
+        num_batches: Optional[int] = None,
+        monitor: Optional[HazardMonitor] = None,
+    ):
+        """Streaming twin of :meth:`simulate_cache`.
+
+        Yields each batch's :class:`BatchCacheStats` as it retires instead
+        of accumulating the list, so arbitrarily long scenario traces flow
+        through the system at constant memory (the pipeline holds only its
+        six in-flight batches and the source generates chunk-wise).
+        """
+        pipeline = ScratchPipePipeline(
+            config=self.config,
+            scratchpads=self._reusable_scratchpads(),
+            dataset_batches=dataset_batches,
+            future_window=self.future_window,
+            monitor=monitor,
+        )
+        return pipeline.stream(num_batches)
+
+    def aggregate_cache_stats(
+        self,
+        dataset_batches: object,
+        num_batches: Optional[int] = None,
+        warmup: int = 0,
+    ) -> "AggregateCacheStats":
+        """Whole-trace cache totals, computed streamingly.
+
+        The reduction the locality-sensitivity studies want (hit rate under
+        drift/churn/burst) without materialising per-batch statistics —
+        memory stays flat in the trace length.
+
+        Mirrors the ``SystemRunResult`` warm-up convention: a trace no
+        longer than ``warmup`` aggregates over every batch instead of
+        silently reducing nothing.
+        """
+        steady = AggregateCacheStats()
+        full = AggregateCacheStats()
+        for stats in self.stream_cache_stats(dataset_batches, num_batches):
+            for totals in ((full, steady) if stats.batch_index >= warmup
+                           else (full,)):
+                totals.batches += 1
+                totals.total_lookups += stats.total_lookups
+                totals.unique_ids += stats.unique_ids
+                totals.hits += stats.hits
+                totals.misses += stats.misses
+                totals.writebacks += stats.writebacks
+        return steady if steady.batches else full
 
     def run_trace(
         self, dataset_batches: object, num_batches: Optional[int] = None

@@ -1,0 +1,106 @@
+"""Tests for the goodness-of-fit helpers (repro.data.conformance)."""
+
+import numpy as np
+import pytest
+
+from repro.data.conformance import (
+    bin_tail,
+    chi_squared_critical,
+    chi_squared_gof,
+    ks_critical,
+    ks_gof,
+    normal_quantile,
+)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,z",
+        [
+            (0.5, 0.0),
+            (0.975, 1.959964),
+            (0.999999, 4.753424),
+            (0.025, -1.959964),
+        ],
+    )
+    def test_known_values(self, p, z):
+        assert normal_quantile(p) == pytest.approx(z, abs=1e-4)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestChiSquaredCritical:
+    def test_against_tabulated_quantiles(self):
+        # chi2 upper-0.05 quantiles from standard tables.
+        assert chi_squared_critical(10, alpha=0.05) == pytest.approx(
+            18.307, rel=0.01
+        )
+        assert chi_squared_critical(100, alpha=0.05) == pytest.approx(
+            124.342, rel=0.01
+        )
+
+    def test_grows_with_dof_and_confidence(self):
+        assert chi_squared_critical(50) > chi_squared_critical(10)
+        assert chi_squared_critical(10, 1e-9) > chi_squared_critical(10, 1e-3)
+
+
+class TestBinTail:
+    def test_merges_cold_cells(self):
+        probs = np.array([0.5, 0.3, 0.1, 0.05, 0.03, 0.02])
+        counts = probs * 100
+        merged_counts, merged_probs = bin_tail(counts, probs, 5.0, 100)
+        assert merged_probs.sum() == pytest.approx(1.0)
+        assert merged_counts.sum() == pytest.approx(100)
+        assert (merged_probs * 100 >= 5.0 - 1e-9).all()
+
+    def test_preserves_adequate_cells(self):
+        probs = np.full(4, 0.25)
+        counts = np.array([30.0, 20.0, 25.0, 25.0])
+        merged_counts, merged_probs = bin_tail(counts, probs, 5.0, 100)
+        assert merged_counts.size == 4
+
+
+class TestChiSquaredGof:
+    def test_accepts_the_true_model(self):
+        rng = np.random.default_rng(7)
+        probs = np.array([0.4, 0.3, 0.2, 0.1])
+        samples = rng.choice(4, size=20_000, p=probs)
+        counts = np.bincount(samples, minlength=4)
+        assert chi_squared_gof(counts, probs).ok
+
+    def test_rejects_a_wrong_model_decisively(self):
+        rng = np.random.default_rng(7)
+        probs = np.array([0.4, 0.3, 0.2, 0.1])
+        samples = rng.choice(4, size=20_000, p=probs)
+        counts = np.bincount(samples, minlength=4)
+        wrong = np.full(4, 0.25)
+        result = chi_squared_gof(counts, wrong)
+        assert not result.ok
+        assert result.statistic > 10 * result.critical
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            chi_squared_gof([10, 10], [0.4, 0.4])
+        with pytest.raises(ValueError, match="shape"):
+            chi_squared_gof([10, 10], [0.5, 0.3, 0.2])
+
+
+class TestKsGof:
+    def test_accepts_the_true_model(self):
+        rng = np.random.default_rng(3)
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        samples = rng.choice(4, size=50_000, p=probs)
+        assert ks_gof(samples, np.cumsum(probs)).ok
+
+    def test_rejects_a_wrong_model(self):
+        rng = np.random.default_rng(3)
+        samples = rng.choice(4, size=50_000, p=[0.7, 0.1, 0.1, 0.1])
+        result = ks_gof(samples, np.cumsum([0.25, 0.25, 0.25, 0.25]))
+        assert not result.ok
+
+    def test_critical_shrinks_with_n(self):
+        assert ks_critical(10_000) < ks_critical(100)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.distributions import (
+    InvalidZipfExponentError,
     UniformDistribution,
     ZipfDistribution,
     fit_zipf_exponent,
@@ -50,6 +51,50 @@ class TestZipfDistribution:
             ZipfDistribution(num_rows=10, exponent=0.0)
         with pytest.raises(ValueError):
             ZipfDistribution(num_rows=10, exponent=1.0)
+
+    @pytest.mark.parametrize(
+        "alpha", [0.0, -0.5, 1.0, 1.5, float("nan"), float("inf")]
+    )
+    def test_invalid_alpha_raises_named_error(self, alpha):
+        """Regression: alpha <= 0 (and every other out-of-domain value)
+        raises the *named* error at construction instead of degenerating
+        to NaN/flat weights downstream.  The named error is a ValueError
+        subclass, so existing callers keep working."""
+        with pytest.raises(InvalidZipfExponentError):
+            ZipfDistribution(num_rows=10, exponent=alpha)
+        assert issubclass(InvalidZipfExponentError, ValueError)
+
+    def test_valid_alpha_weights_finite(self, rng):
+        """The guarded domain never produces NaN weights or samples."""
+        for alpha in (1e-6, 0.5, 1.0 - 1e-6):
+            dist = ZipfDistribution(num_rows=1000, exponent=alpha)
+            pmf = dist.rank_pmf(np.arange(1000))
+            assert np.isfinite(pmf).all()
+            assert pmf.sum() == pytest.approx(1.0)
+            assert np.isfinite(dist.sorted_pdf(100)).all()
+            assert (dist.sample(100, rng) < 1000).all()
+
+    def test_rank_pmf_matches_sampler_exactly(self, rng):
+        """rank_pmf is the exact induced pmf of the inverse-CDF sampler."""
+        dist = ZipfDistribution(num_rows=50, exponent=0.7)
+        ids = dist.sample(400_000, rng)
+        counts = np.bincount(ids, minlength=50) / ids.size
+        assert np.allclose(counts, dist.rank_pmf(np.arange(50)), atol=0.005)
+
+    def test_rank_of_uniform_is_sample_transform(self, rng):
+        """sample() == rank_of_uniform over the same uniforms (the hook
+        the correlated-scenario path relies on)."""
+        dist = ZipfDistribution(num_rows=1000, exponent=0.8)
+        state = rng.bit_generator.state
+        sampled = dist.sample(1000, rng)
+        rng.bit_generator.state = state
+        transformed = dist.rank_of_uniform(rng.random(1000))
+        assert np.array_equal(sampled, transformed)
+
+    def test_uniform_rank_of_uniform_in_range(self):
+        dist = UniformDistribution(num_rows=10)
+        ranks = dist.rank_of_uniform(np.array([0.0, 0.5, 0.999999, 1.0]))
+        assert ranks.min() >= 0 and ranks.max() == 9
 
     def test_samples_in_range(self, rng):
         dist = ZipfDistribution(num_rows=1000, exponent=0.7)

@@ -1,0 +1,269 @@
+"""Statistical conformance tests for every workload generator.
+
+Each scenario process ships with a seeded chi-squared and/or KS check that
+its empirical access frequencies match the *configured* process — the
+expected probabilities are computed from the process parameters (exact
+sampler pmf, rotated/remapped row pmf, burst mixture, binomial traffic
+shares), so a mis-implemented exponent, rotation, re-homing or share would
+fail by orders of magnitude.  All draws are seeded: these tests are
+deterministic, and the significance level (1e-6) keeps them far from the
+rejection boundary for the committed seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.conformance import chi_squared_gof, ks_gof
+from repro.data.datasets import locality_distribution
+from repro.data.distributions import UniformDistribution, ZipfDistribution
+from repro.data.scenarios import (
+    BurstSpec,
+    ChurnSpec,
+    CorrelationSpec,
+    DiurnalSpec,
+    DriftSpec,
+    ReshuffleSpec,
+    ScenarioSpec,
+    build_scenario,
+)
+from repro.model.config import tiny_config
+
+NUM_ROWS = 1000
+
+#: Large-sample config: one table, 2048 lookups per batch, so a handful of
+#: batches gives tight empirical frequencies over 1000 rows.
+CFG = tiny_config(
+    rows_per_table=NUM_ROWS, batch_size=512, lookups_per_table=4, num_tables=1
+)
+
+
+def sampled_counts(spec, batches, seed=11):
+    """Per-row access counts over the given batch indices (table 0)."""
+    source = build_scenario(
+        CFG, spec, seed=seed, num_batches=max(batches) + 1
+    )
+    counts = np.zeros(NUM_ROWS, dtype=np.int64)
+    for index in batches:
+        counts += np.bincount(
+            source.batch(index).table_ids(0), minlength=NUM_ROWS
+        )
+    return counts
+
+
+def expected_row_pmf(spec, batch_index, seed=11):
+    """Exact row pmf the configured process induces at one batch.
+
+    Built from the scenario's own deterministic rank->row mapping applied
+    to the exact sampler pmf over ranks — the ground truth the empirical
+    counts must conform to.
+    """
+    source = build_scenario(CFG, spec, seed=seed, num_batches=batch_index + 1)
+    content = source._content_index(batch_index)
+    dist = source._distribution_at(content)
+    ranks = np.arange(NUM_ROWS)
+    if isinstance(dist, ZipfDistribution):
+        rank_pmf = dist.rank_pmf(ranks)
+    else:
+        rank_pmf = np.full(NUM_ROWS, 1.0 / NUM_ROWS)
+    rows = source._map_ranks_to_rows(ranks, table=0, content_index=content)
+    pmf = np.zeros(NUM_ROWS)
+    np.add.at(pmf, rows, rank_pmf)
+    burst_rows = source._burst_rows(content)
+    if burst_rows is not None:
+        share = spec.burst.share
+        burst_pmf = np.zeros(NUM_ROWS)
+        np.add.at(burst_pmf, burst_rows, 1.0 / burst_rows.size)
+        pmf = (1.0 - share) * pmf + share * burst_pmf
+    return pmf
+
+
+class TestStationaryGenerators:
+    def test_uniform_chi_squared(self):
+        spec = ScenarioSpec(locality="random")
+        counts = sampled_counts(spec, range(40))
+        probs = np.full(NUM_ROWS, 1.0 / NUM_ROWS)
+        result = chi_squared_gof(counts, probs)
+        assert result.ok, (result.statistic, result.critical)
+
+    @pytest.mark.parametrize("locality", ["low", "medium", "high"])
+    def test_zipf_chi_squared(self, locality):
+        spec = ScenarioSpec(locality=locality)
+        counts = sampled_counts(spec, range(40))
+        dist = locality_distribution(locality, NUM_ROWS)
+        probs = dist.rank_pmf(np.arange(NUM_ROWS))
+        result = chi_squared_gof(counts, probs)
+        assert result.ok, (locality, result.statistic, result.critical)
+
+    @pytest.mark.parametrize("locality", ["low", "medium", "high"])
+    def test_zipf_ks(self, locality):
+        spec = ScenarioSpec(locality=locality)
+        source = build_scenario(CFG, spec, seed=11, num_batches=20)
+        samples = np.concatenate(
+            [source.batch(i).table_ids(0) for i in range(20)]
+        )
+        dist = locality_distribution(locality, NUM_ROWS)
+        cdf = np.cumsum(dist.rank_pmf(np.arange(NUM_ROWS)))
+        result = ks_gof(samples, cdf)
+        assert result.ok, (locality, result.statistic, result.critical)
+
+    def test_wrong_exponent_is_rejected(self):
+        """Power check: the conformance harness is not vacuous."""
+        spec = ScenarioSpec(locality="high")
+        counts = sampled_counts(spec, range(40))
+        wrong = ZipfDistribution(num_rows=NUM_ROWS, exponent=0.4)
+        result = chi_squared_gof(counts, wrong.rank_pmf(np.arange(NUM_ROWS)))
+        assert not result.ok
+        assert result.statistic > 10 * result.critical
+
+
+class TestDriftConformance:
+    def test_rotated_pmf_matches_per_batch(self):
+        spec = ScenarioSpec(locality="high", drift=DriftSpec(rate=37.0))
+        for index in (0, 5, 13):
+            source = build_scenario(CFG, spec, seed=11, num_batches=index + 1)
+            counts = np.bincount(
+                source.batch(index).table_ids(0), minlength=NUM_ROWS
+            )
+            probs = expected_row_pmf(spec, index)
+            result = chi_squared_gof(counts, probs, min_expected=5.0)
+            assert result.ok, (index, result.statistic, result.critical)
+
+    def test_head_mass_follows_the_rotation(self):
+        spec = ScenarioSpec(locality="high", drift=DriftSpec(rate=100.0))
+        dist = locality_distribution("high", NUM_ROWS)
+        head_mass = float(dist.rank_pmf(np.arange(20)).sum())
+        for index in (2, 7):
+            shift = int(100.0 * index) % NUM_ROWS
+            window = (np.arange(20) + shift) % NUM_ROWS
+            source = build_scenario(CFG, spec, seed=11, num_batches=8)
+            ids = source.batch(index).table_ids(0)
+            observed = np.isin(ids, window).mean()
+            # Binomial 6-sigma tolerance around the analytic head mass.
+            sigma = (head_mass * (1 - head_mass) / ids.size) ** 0.5
+            assert abs(observed - head_mass) < 6 * sigma + 0.01
+
+
+class TestChurnConformance:
+    def test_remapped_pmf_matches(self):
+        spec = ScenarioSpec(
+            locality="high", churn=ChurnSpec(hot_fraction=0.05, period=16)
+        )
+        for index in (0, 9, 33):
+            source = build_scenario(CFG, spec, seed=11, num_batches=index + 1)
+            counts = np.bincount(
+                source.batch(index).table_ids(0), minlength=NUM_ROWS
+            )
+            probs = expected_row_pmf(spec, index)
+            result = chi_squared_gof(counts, probs, min_expected=5.0)
+            assert result.ok, (index, result.statistic, result.critical)
+
+    def test_survival_fraction_matches_period(self):
+        """About 1/period of the hot mapping changes per batch."""
+        spec = ScenarioSpec(
+            locality="high", churn=ChurnSpec(hot_fraction=0.2, period=20)
+        )
+        source = build_scenario(CFG, spec, seed=11, num_batches=40)
+        hot = np.arange(int(0.2 * NUM_ROWS))
+        changes = []
+        for index in range(30):
+            now = source._map_ranks_to_rows(hot, 0, index)
+            nxt = source._map_ranks_to_rows(hot, 0, index + 1)
+            changes.append((now != nxt).mean())
+        mean_change = float(np.mean(changes))
+        assert mean_change == pytest.approx(1.0 / 20, rel=0.35)
+
+
+class TestBurstConformance:
+    def test_burst_share_binomial(self):
+        spec = ScenarioSpec(
+            locality="random",
+            burst=BurstSpec(period=32, duration=4, share=0.35, rows=8),
+        )
+        source = build_scenario(CFG, spec, seed=11, num_batches=40)
+        burst_rows = source._burst_rows(1)
+        ids = source.batch(1).table_ids(0)
+        on_burst = np.isin(ids, burst_rows).mean()
+        # share + (1-share) * |burst| / num_rows background traffic.
+        expected = 0.35 + (1 - 0.35) * 8 / NUM_ROWS
+        sigma = (expected * (1 - expected) / ids.size) ** 0.5
+        assert abs(on_burst - expected) < 6 * sigma
+
+    def test_off_window_matches_base_process(self):
+        spec = ScenarioSpec(
+            locality="medium",
+            burst=BurstSpec(period=32, duration=4, share=0.35, rows=8),
+        )
+        counts = sampled_counts(spec, range(8, 32))  # off-burst batches
+        dist = locality_distribution("medium", NUM_ROWS)
+        result = chi_squared_gof(counts, dist.rank_pmf(np.arange(NUM_ROWS)))
+        assert result.ok, (result.statistic, result.critical)
+
+    def test_mixture_pmf_during_burst(self):
+        spec = ScenarioSpec(
+            locality="medium",
+            burst=BurstSpec(period=32, duration=4, share=0.5, rows=8),
+        )
+        source = build_scenario(CFG, spec, seed=11, num_batches=4)
+        counts = np.bincount(source.batch(2).table_ids(0), minlength=NUM_ROWS)
+        probs = expected_row_pmf(spec, 2)
+        result = chi_squared_gof(counts, probs, min_expected=5.0)
+        assert result.ok, (result.statistic, result.critical)
+
+
+class TestDiurnalConformance:
+    @pytest.mark.parametrize("index", [0, 8, 16])
+    def test_modulated_exponent_pmf(self, index):
+        spec = ScenarioSpec(
+            locality="medium",
+            diurnal=DiurnalSpec(low=0.35, high=0.85, period=32),
+        )
+        source = build_scenario(CFG, spec, seed=11, num_batches=index + 1)
+        counts = np.bincount(
+            source.batch(index).table_ids(0), minlength=NUM_ROWS
+        )
+        exponent = spec.diurnal.exponent_at(index)
+        dist = ZipfDistribution(num_rows=NUM_ROWS, exponent=exponent)
+        result = chi_squared_gof(
+            counts, dist.rank_pmf(np.arange(NUM_ROWS)), min_expected=5.0
+        )
+        assert result.ok, (index, exponent, result.statistic, result.critical)
+
+
+class TestCorrelationConformance:
+    def test_coupled_fraction_binomial(self):
+        cfg = tiny_config(
+            rows_per_table=NUM_ROWS, batch_size=512, lookups_per_table=4,
+            num_tables=2,
+        )
+        rho = 0.6
+        spec = ScenarioSpec(
+            locality="high", correlation=CorrelationSpec(rho=rho)
+        )
+        source = build_scenario(cfg, spec, seed=11, num_batches=8)
+        dist = locality_distribution("high", NUM_ROWS)
+        pmf = dist.rank_pmf(np.arange(NUM_ROWS))
+        collide = float((pmf ** 2).sum())  # same row by chance
+        expected = rho + (1 - rho) * collide
+        matches = []
+        for index in range(8):
+            batch = source.batch(index)
+            matches.append(
+                (batch.table_ids(0) == batch.table_ids(1)).mean()
+            )
+        observed = float(np.mean(matches))
+        n = 8 * 512 * 4
+        sigma = (expected * (1 - expected) / n) ** 0.5
+        assert abs(observed - expected) < 6 * sigma + 0.01
+
+
+class TestReshuffleConformance:
+    def test_epoch_content_conforms_to_base(self):
+        spec = ScenarioSpec(
+            locality="medium", reshuffle=ReshuffleSpec(epoch_batches=10)
+        )
+        # Second epoch: same content, shuffled — frequencies must still
+        # conform to the configured base process.
+        counts = sampled_counts(spec, range(10, 20))
+        dist = locality_distribution("medium", NUM_ROWS)
+        result = chi_squared_gof(counts, dist.rank_pmf(np.arange(NUM_ROWS)))
+        assert result.ok, (result.statistic, result.critical)

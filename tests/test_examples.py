@@ -42,6 +42,13 @@ class TestFastExamples:
         assert "single-use rows" in out
         assert "headroom" in out
 
+    def test_drift_sweep(self, capsys):
+        run_example("drift_sweep.py", ["--rates", "0", "64"])
+        out = capsys.readouterr().out
+        assert "hit rate vs hot-set drift rate" in out
+        assert "Scenario matrix" in out
+        assert "hit rate falls" in out
+
     def test_adagrad_training(self, capsys):
         run_example("adagrad_training.py")
         out = capsys.readouterr().out
