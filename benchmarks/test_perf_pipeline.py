@@ -33,20 +33,23 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import CacheSpec, SystemSpec, build_system
 from repro.core.pipeline import HazardMonitor, ScratchPipePipeline
 from repro.data.trace import MaterialisedDataset, make_dataset
 from repro.hardware.spec import DEFAULT_HARDWARE
 from repro.model.config import ModelConfig
-from repro.systems.scratchpipe_system import ScratchPipeSystem, make_scratchpads
+from repro.systems.scratchpipe_system import make_scratchpads
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Entries are keyed by label so re-runs update in place and each PR's
-#: perf pass appends one trajectory point.  PR 3 is a workload/test PR —
-#: its entry tracks that the scenario/streaming refactor (TraceSource,
-#: generator-based pipeline run) did not regress the hot path.
-RUN_LABEL = "pr3-scenario-engine"
+#: perf pass appends one trajectory point.  PR 4 is the SystemSpec /
+#: registry API redesign — the timed system is now assembled through
+#: ``repro.api.build_system`` (spec resolution is construction-time
+#: only), so its entry proves the spec layer adds zero per-batch
+#: overhead vs the PR 3 entry.
+RUN_LABEL = "pr4-api-redesign"
 PREVIOUS_LABEL = "pr1-vectorised-hot-loops"
 
 #: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,
@@ -120,8 +123,12 @@ def _time_fast_path(scale: dict, trace: MaterialisedDataset = None) -> float:
     cfg = _config(scale)
     if trace is None:
         trace = _trace(cfg, scale)
-    system = ScratchPipeSystem(
-        cfg, DEFAULT_HARDWARE, cache_fraction=scale["slots"] / scale["rows"]
+    system = build_system(
+        SystemSpec(
+            system="scratchpipe",
+            cache=CacheSpec(fraction=scale["slots"] / scale["rows"]),
+        ),
+        cfg, DEFAULT_HARDWARE,
     )
     assert system.num_slots == scale["slots"]
     start = time.perf_counter()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Heterogeneous per-table caches under cross-table correlation.
+
+ScratchPipe instantiates one cache manager per embedding table
+(Section VI-G) — but the paper sizes them all identically.  The
+``repro.api`` spec layer makes the allocation a first-class knob: a
+``CacheSpec`` can give table 0 a big LRU cache and every other table a
+small one, and ``build_system`` assembles per-table Hit-Map/Hold-mask/
+policy triples sized independently.
+
+This study crosses that knob with the PR 3 *cross-table correlation*
+scenario (tables share a fraction ``rho`` of their underlying draws —
+the same "user intent" touching hot rows in several tables at once) and
+reads the per-table Plan hit rates the aggregate rollup now exposes:
+
+1. describe each allocation as a ``CacheSpec`` (the CLI shorthand
+   ``table0=0.1,rest=0.03`` parses to one),
+2. wrap it in a ``SystemSpec`` — every sweep point ships the
+   ``(SystemSpec, ScenarioSpec)`` pair to workers, never arrays,
+3. sweep with ``heterogeneous_cache`` (or ``repro.cli hetero``).
+
+Run:  python examples/heterogeneous_caches.py [--rhos 0 0.5] [--workers 2]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.analysis.experiments import ExperimentSetup, heterogeneous_cache
+from repro.api import CacheSpec, parse_cache_spec
+from repro.model.config import tiny_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rhos", type=float, nargs="+",
+                        default=[0.0, 0.5, 0.9])
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    config = tiny_config(
+        rows_per_table=20_000, batch_size=16, lookups_per_table=4,
+        num_tables=2,
+    )
+    setup = ExperimentSetup(config=config, num_batches=150, seed=1)
+
+    # Budget-matched: 0.065 * 2 tables == 0.1 + 0.03.  Sized so the
+    # 150-batch high-locality trace actually evicts (an oversized cache
+    # never differentiates allocations).
+    splits = {
+        "uniform=0.065": CacheSpec(fraction=0.065),
+        "table0=0.1,rest=0.03": parse_cache_spec("table0=0.1,rest=0.03"),
+    }
+
+    rhos = tuple(args.rhos)
+    out = heterogeneous_cache(
+        setup, rhos=rhos, cache_specs=splits, locality="high",
+        workers=args.workers,
+    )
+
+    print("\nPlan hit rate vs correlation rho x per-table cache split:")
+    print(format_table(
+        ["cache split"] + [f"rho={rho:g}" for rho in rhos],
+        [
+            [name] + [f"{cells[rho]['hit_rate']:.1%}" for rho in rhos]
+            for name, cells in out.items()
+        ],
+    ))
+
+    print("\nper-table hit rates (table0 | table1):")
+    print(format_table(
+        ["cache split"] + [f"rho={rho:g}" for rho in rhos],
+        [
+            [name] + [
+                " | ".join(f"{rate:.1%}"
+                           for rate in cells[rho]["per_table"])
+                for rho in rhos
+            ]
+            for name, cells in out.items()
+        ],
+    ))
+
+    hetero = out["table0=0.1,rest=0.03"]
+    boosted, starved = hetero[rhos[0]]["per_table"]
+    print(f"\nat rho={rhos[0]:g}: the boosted table hits {boosted:.1%} vs "
+          f"{starved:.1%} for the starved one — the allocation knob works")
+    print("per-table caches are now a spec field: sweep any split with")
+    print("  python -m repro.cli hetero --splits table0=0.1,rest=0.03 0.065")
+
+
+if __name__ == "__main__":
+    main()

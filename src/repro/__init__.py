@@ -3,6 +3,10 @@ from (GPU) Scratch: Look Forward not Backwards" (Kwon & Rhu, ISCA 2022).
 
 Public API tour
 ---------------
+* ``repro.api``      — declarative system assembly: ``SystemSpec`` /
+  ``CacheSpec`` (uniform or per-table heterogeneous), the system/policy
+  plugin registries and ``build_system`` — the single composition surface
+  the CLI, experiments and sweeps share.
 * ``repro.model``    — numpy DLRM: embeddings, MLPs, interaction, SGD.
 * ``repro.data``     — power-law access distributions, dataset profiles,
   synthetic traces, the look-forward loader.
@@ -34,6 +38,15 @@ from repro.analysis import (
     fig15a_dim_sensitivity,
     fig15b_lookup_sensitivity,
     table1_cost,
+)
+from repro.api import (
+    CacheSpec,
+    PipelineSpec,
+    ScratchpadSpec,
+    SystemSpec,
+    build_system,
+    register_policy,
+    register_system,
 )
 from repro.core import (
     GpuScratchpad,
@@ -68,6 +81,13 @@ from repro.systems import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheSpec",
+    "PipelineSpec",
+    "ScratchpadSpec",
+    "SystemSpec",
+    "build_system",
+    "register_policy",
+    "register_system",
     "CACHE_FRACTIONS",
     "ExperimentSetup",
     "SpeedupPoint",

@@ -17,18 +17,20 @@ import numpy as np
 from repro.analysis.cost import CostRow, multi_gpu_row, scratchpipe_row
 from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
 from repro.analysis.sweep import SweepPoint, run_grid
+from repro.api.factory import build_system
+from repro.api.specs import CacheSpec, SystemSpec, parse_cache_spec
 from repro.core.scratchpad import worst_case_storage_bytes
 from repro.data.datasets import DATASET_PROFILES, LOCALITY_CLASSES
-from repro.data.scenarios import DriftSpec, ScenarioSpec, build_scenario
+from repro.data.scenarios import (
+    CorrelationSpec,
+    DriftSpec,
+    ScenarioSpec,
+    build_scenario,
+)
 from repro.data.trace import MaterialisedDataset, make_dataset
 from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
 from repro.model.config import ModelConfig
-from repro.systems.base import SystemRunResult
-from repro.systems.hybrid import HybridSystem
-from repro.systems.multigpu import MultiGpuSystem
-from repro.systems.scratchpipe_system import ScratchPipeSystem
-from repro.systems.static_cache import StaticCacheSystem
-from repro.systems.strawman_system import StrawmanSystem
+from repro.systems.base import SystemRunResult, TrainingSystem
 
 #: Cache-fraction sweep used by Figures 12 and 13 (2% .. 10%).
 CACHE_FRACTIONS = (0.02, 0.04, 0.06, 0.08, 0.10)
@@ -86,8 +88,17 @@ class ExperimentSetup:
         warmup: int,
         metric: str = "mean_latency",
         policy_name: str = "lru",
+        system_spec: "Optional[SystemSpec]" = None,
     ) -> SweepPoint:
-        """Describe one grid evaluation of this setup for the sweep runner."""
+        """Describe one grid evaluation of this setup for the sweep runner.
+
+        ``system_spec`` attaches a full :class:`~repro.api.SystemSpec`
+        (heterogeneous caches, plugin systems); when given, ``system`` is
+        derived from it and ``cache_fraction``/``policy_name`` only label
+        the point.
+        """
+        if system_spec is not None:
+            system = system_spec.system
         return SweepPoint(
             system=system,
             locality=locality,
@@ -100,7 +111,12 @@ class ExperimentSetup:
             metric=metric,
             policy_name=policy_name,
             scenario=self.scenario,
+            system_spec=system_spec,
         )
+
+    def build(self, spec: "SystemSpec | str") -> TrainingSystem:
+        """Build a system against this setup's config + hardware."""
+        return build_system(spec, self.config, self.hardware)
 
 
 # ----------------------------------------------------------------------
@@ -137,10 +153,12 @@ def fig5_breakdown(
     for locality in LOCALITY_CLASSES:
         trace = setup.trace(locality)
         designs: Dict[str, Dict[str, float]] = {}
-        hybrid = HybridSystem(setup.config, setup.hardware)
+        hybrid = setup.build(SystemSpec(system="hybrid"))
         designs["hybrid"] = hybrid.run_trace(trace).group_means(warmup=0)
         for fraction in cache_fractions:
-            system = StaticCacheSystem(setup.config, setup.hardware, fraction)
+            system = setup.build(SystemSpec(
+                system="static_cache", cache=CacheSpec(fraction=fraction)
+            ))
             label = f"static_{int(fraction * 100)}%"
             designs[label] = system.run_trace(trace).group_means(warmup=0)
         out[locality] = designs
@@ -281,14 +299,15 @@ def fig14_energy(
 ) -> Dict[str, Dict[str, float]]:
     """Per-iteration energy (J) of static cache vs ScratchPipe."""
     setup = setup or ExperimentSetup()
+    cache = CacheSpec(fraction=cache_fraction)
     out: Dict[str, Dict[str, float]] = {}
     for locality in LOCALITY_CLASSES:
         trace = setup.trace(locality)
-        static = StaticCacheSystem(
-            setup.config, setup.hardware, cache_fraction
+        static = setup.build(
+            SystemSpec(system="static_cache", cache=cache)
         ).run_trace(trace)
-        scratchpipe = ScratchPipeSystem(
-            setup.config, setup.hardware, cache_fraction
+        scratchpipe = setup.build(
+            SystemSpec(system="scratchpipe", cache=cache)
         ).run_trace(trace)
         out[locality] = {
             "static_cache": static.mean_energy(warmup=0),
@@ -477,6 +496,7 @@ def drift_sensitivity(
     cache_fraction: float = 0.02,
     localities: Sequence[str] = ("medium", "high"),
     workers: int = 1,
+    cache: Optional[CacheSpec] = None,
 ) -> Dict[str, Dict[float, float]]:
     """ScratchPipe Plan-stage hit rate vs hot-set drift rate.
 
@@ -488,12 +508,16 @@ def drift_sensitivity(
 
     Any other processes on ``setup.scenario`` are kept: the sweep replaces
     only the drift component, so churn/burst/diurnal backdrops compose
-    with the swept rate.
+    with the swept rate.  ``cache`` overrides the uniform
+    ``cache_fraction`` with an arbitrary (possibly per-table) CacheSpec.
 
     Returns ``{locality: {drift_rate: hit_rate}}``.
     """
     setup = setup or ExperimentSetup()
     base_spec = setup.scenario or ScenarioSpec()
+    system_spec = None
+    if cache is not None:
+        system_spec = SystemSpec(system="scratchpipe", cache=cache)
     grid = []
     for locality in localities:
         for rate in drift_rates:
@@ -504,7 +528,7 @@ def drift_sensitivity(
             grid.append(
                 point_setup.point(
                     "scratchpipe", locality, cache_fraction, WARMUP,
-                    metric="hit_rate",
+                    metric="hit_rate", system_spec=system_spec,
                 )
             )
     results = iter(run_grid(grid, workers=workers))
@@ -520,25 +544,34 @@ def scenario_comparison(
     cache_fraction: float = 0.02,
     locality: str = "medium",
     workers: int = 1,
+    cache: Optional[CacheSpec] = None,
 ) -> Dict[str, Dict[str, float]]:
     """ScratchPipe latency and hit rate under each named scenario.
 
     Returns ``{scenario_name: {"mean_latency": s, "hit_rate": r}}`` —
     the whole-figure view of how time-varying workloads move both the
-    cache behaviour and the end-to-end iteration time.
+    cache behaviour and the end-to-end iteration time.  ``cache``
+    overrides the uniform ``cache_fraction`` with an arbitrary (possibly
+    per-table) CacheSpec.
     """
     setup = setup or ExperimentSetup()
+    system_spec = None
+    if cache is not None:
+        system_spec = SystemSpec(system="scratchpipe", cache=cache)
     grid = []
     names = list(scenarios)
     for name in names:
         point_setup = replace(setup, scenario=scenarios[name])
         grid.append(
-            point_setup.point("scratchpipe", locality, cache_fraction, WARMUP)
+            point_setup.point(
+                "scratchpipe", locality, cache_fraction, WARMUP,
+                system_spec=system_spec,
+            )
         )
         grid.append(
             point_setup.point(
                 "scratchpipe", locality, cache_fraction, WARMUP,
-                metric="hit_rate",
+                metric="hit_rate", system_spec=system_spec,
             )
         )
     results = iter(run_grid(grid, workers=workers))
@@ -546,6 +579,84 @@ def scenario_comparison(
         name: {"mean_latency": next(results), "hit_rate": next(results)}
         for name in names
     }
+
+
+def default_heterogeneous_splits(
+    num_tables: int,
+) -> Dict[str, CacheSpec]:
+    """Budget-matched cache splits for :func:`heterogeneous_cache`.
+
+    The heterogeneous split doubles table 0's cache (4 %) over the paper's
+    smallest evaluated fraction (2 %) for the rest — 2 % is the floor the
+    hazard window demands at the default geometry (see
+    ``repro.core.scratchpad.required_slots``; smaller splits like the CLI's
+    ``rest=0.005`` example are valid on geometries with fewer lookups per
+    batch).  The uniform comparison point spends the *same total slot
+    budget* spread evenly, so any hit-rate difference is allocation, not
+    capacity.
+    """
+    hetero = parse_cache_spec("table0=0.04,rest=0.02")
+    uniform_fraction = (0.04 + (num_tables - 1) * 0.02) / num_tables
+    return {
+        f"uniform={uniform_fraction:g}": CacheSpec(fraction=uniform_fraction),
+        "table0=0.04,rest=0.02": hetero,
+    }
+
+
+def heterogeneous_cache(
+    setup: Optional[ExperimentSetup] = None,
+    rhos: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    cache_specs: Optional[Dict[str, CacheSpec]] = None,
+    locality: str = "medium",
+    workers: int = 1,
+) -> Dict[str, Dict[float, Dict[str, object]]]:
+    """Hit rate vs {correlation rho x per-table cache split}.
+
+    The ROADMAP matrix cell the SystemSpec layer unblocks: under the PR 3
+    cross-table correlation scenario, tables increasingly touch the *same*
+    rows per batch, so the marginal value of each table's private cache
+    shifts — a heterogeneous split (one big cache, small caches elsewhere)
+    and a budget-matched uniform split trade places as rho grows.  Each
+    grid point ships a ``(SystemSpec, ScenarioSpec)`` pair through the
+    spec-only worker dispatch and streams the pipeline once per cell (the
+    ``cache_stats`` metric carries both reductions back).
+
+    Any processes on ``setup.scenario`` other than correlation are kept
+    (the sweep replaces only the correlation component).
+
+    Returns ``{split_name: {rho: {"hit_rate": float,
+    "per_table": (rate, ...)}}}``.
+    """
+    setup = setup or ExperimentSetup()
+    if cache_specs is None:
+        cache_specs = default_heterogeneous_splits(setup.config.num_tables)
+    base_spec = setup.scenario or ScenarioSpec()
+    grid = []
+    for name, cache in cache_specs.items():
+        system_spec = SystemSpec(system="scratchpipe", cache=cache)
+        for rho in rhos:
+            scenario = replace(
+                base_spec,
+                correlation=CorrelationSpec(rho=rho) if rho > 0 else None,
+            )
+            point_setup = replace(setup, scenario=scenario)
+            grid.append(
+                point_setup.point(
+                    "scratchpipe", locality, 0.0, WARMUP,
+                    metric="cache_stats", system_spec=system_spec,
+                )
+            )
+    results = iter(run_grid(grid, workers=workers))
+    out: Dict[str, Dict[float, Dict[str, object]]] = {}
+    for name in cache_specs:
+        out[name] = {}
+        for rho in rhos:
+            aggregate = next(results)
+            out[name][rho] = {
+                "hit_rate": aggregate.hit_rate,
+                "per_table": aggregate.per_table_hit_rates(),
+            }
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -561,12 +672,12 @@ def table1_cost(
     rows: List[Tuple[CostRow, CostRow]] = []
     for locality in LOCALITY_CLASSES:
         trace = setup.trace(locality)
-        sp_latency = ScratchPipeSystem(
-            setup.config, setup.hardware, cache_fraction
-        ).run_trace(trace).mean_latency(warmup=WARMUP)
-        mg_latency = MultiGpuSystem(
-            setup.config, setup.hardware, num_gpus=num_gpus
-        ).run_trace(trace).mean_latency(warmup=0)
+        sp_latency = setup.build(SystemSpec(
+            system="scratchpipe", cache=CacheSpec(fraction=cache_fraction)
+        )).run_trace(trace).mean_latency(warmup=WARMUP)
+        mg_latency = setup.build(SystemSpec(
+            system="multi_gpu", num_gpus=num_gpus
+        )).run_trace(trace).mean_latency(warmup=0)
         rows.append(
             (
                 scratchpipe_row(locality.capitalize(), sp_latency),

@@ -51,24 +51,29 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.factory import build_system
+from repro.api.specs import SystemSpec, uniform_system_spec
 from repro.data.io import materialise_cached
 from repro.data.scenarios import ScenarioSpec, build_scenario
 from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
 from repro.systems.base import TrainingSystem
-from repro.systems.hybrid import HybridSystem
-from repro.systems.scratchpipe_system import ScratchPipeSystem
-from repro.systems.static_cache import StaticCacheSystem
-from repro.systems.strawman_system import StrawmanSystem
 
 #: Result metrics a sweep point can request.  The ``SystemRunResult``
-#: reductions work for every system; ``hit_rate`` streams the metadata
-#: pipeline and is only meaningful for the dynamic-cache ScratchPipe.
+#: reductions work for every system; ``hit_rate``, ``per_table_hit_rates``
+#: and ``cache_stats`` (the whole ``AggregateCacheStats``, for consumers
+#: that want several reductions from one pipeline pass) stream the
+#: metadata pipeline and are only meaningful for the dynamic-cache
+#: ScratchPipe.
 METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means",
-           "hit_rate")
+           "hit_rate", "per_table_hit_rates", "cache_stats")
 
-#: System names the grid runner can instantiate.
+#: Metrics that stream the ScratchPipe metadata pipeline.
+_STREAMING_METRICS = ("hit_rate", "per_table_hit_rates", "cache_stats")
+
+#: Legacy system names a spec-less point may carry; a point with a
+#: ``system_spec`` may name any registered system.
 SYSTEMS = ("hybrid", "static_cache", "strawman", "scratchpipe")
 
 #: Environment variable naming the on-disk trace cache directory.
@@ -104,11 +109,19 @@ class SweepPoint:
         hardware: Node being modelled.
         warmup: Iterations excluded from the steady-state metric.
         metric: Which reduction to return (one of :data:`METRICS`).
-        policy_name: Replacement policy for the dynamic-cache systems.
+        policy_name: Replacement policy for the dynamic-cache systems
+            (spec-less points only).
         scenario: Optional time-varying workload.  ``None`` (the default)
             is the legacy stationary path; a :class:`ScenarioSpec` runs the
             point under that scenario's processes with the point's
             ``locality`` as the base skew.
+        system_spec: Optional full :class:`~repro.api.specs.SystemSpec`.
+            When present it is the authoritative system description — the
+            heterogeneous per-table cache path and plugin systems ride the
+            existing spec-shipping dispatch for free — and ``system`` must
+            equal ``system_spec.system``.  When absent, a uniform spec is
+            synthesized from ``(system, cache_fraction, policy_name)``,
+            bit-identical to the legacy construction.
     """
 
     system: str
@@ -122,21 +135,45 @@ class SweepPoint:
     metric: str = "mean_latency"
     policy_name: str = "lru"
     scenario: Optional[ScenarioSpec] = None
+    system_spec: Optional[SystemSpec] = None
 
     def __post_init__(self) -> None:
-        if self.system not in SYSTEMS:
+        if self.system_spec is not None:
+            if self.system != self.system_spec.system:
+                raise ValueError(
+                    f"point names system {self.system!r} but its spec "
+                    f"names {self.system_spec.system!r}"
+                )
+        elif self.system not in SYSTEMS:
             raise ValueError(
-                f"unknown system {self.system!r}; expected one of {SYSTEMS}"
+                f"unknown system {self.system!r}; expected one of {SYSTEMS} "
+                "(or attach a system_spec for registered/plugin systems)"
             )
         if self.metric not in METRICS:
             raise ValueError(
                 f"unknown metric {self.metric!r}; expected one of {METRICS}"
             )
-        if self.metric == "hit_rate" and self.system != "scratchpipe":
+        if self.metric in _STREAMING_METRICS and self.system != "scratchpipe":
             raise ValueError(
-                "the hit_rate metric streams the ScratchPipe metadata "
+                f"the {self.metric} metric streams the ScratchPipe metadata "
                 f"pipeline and is not defined for {self.system!r}"
             )
+
+    @property
+    def resolved_system_spec(self) -> SystemSpec:
+        """The spec this point builds its system from.
+
+        Spec-less points synthesize the uniform spec their legacy fields
+        describe (hybrid baselines drop the meaningless cache fraction).
+        """
+        if self.system_spec is not None:
+            return self.system_spec
+        cache_fraction: Optional[float] = self.cache_fraction
+        if self.system in ("hybrid", "overlapped_hybrid", "multi_gpu"):
+            cache_fraction = None
+        return uniform_system_spec(
+            self.system, cache_fraction, policy=self.policy_name
+        )
 
     @property
     def trace_key(self) -> TraceKey:
@@ -234,36 +271,25 @@ def _cached_trace(key: TraceKey) -> MaterialisedDataset:
 
 @lru_cache(maxsize=8)
 def _cached_system(
-    system: str,
+    spec: SystemSpec,
     config: ModelConfig,
     hardware: HardwareSpec,
-    cache_fraction: float,
-    policy_name: str,
 ) -> TrainingSystem:
     """Build (and memoise, per process) one system instance.
 
-    The dynamic-cache systems reset their scratchpads between ``run_trace``
-    calls, so reuse across grid points is value-identical to building fresh
-    instances while allocating each dense Hit-Map index once per worker.
+    Every construction flows through ``repro.api.build_system`` keyed on
+    the (hashable) spec, so uniform and heterogeneous grid points share
+    one code path.  The dynamic-cache systems reset their scratchpads
+    between ``run_trace`` calls, so reuse across grid points is
+    value-identical to building fresh instances while allocating each
+    dense Hit-Map index once per worker.
     """
-    if system == "hybrid":
-        return HybridSystem(config, hardware)
-    if system == "static_cache":
-        return StaticCacheSystem(config, hardware, cache_fraction)
-    if system == "strawman":
-        return StrawmanSystem(config, hardware, cache_fraction)
-    return ScratchPipeSystem(
-        config, hardware, cache_fraction, policy_name=policy_name
-    )
+    return build_system(spec, config, hardware)
 
 
 def _build_system(point: SweepPoint) -> TrainingSystem:
     return _cached_system(
-        point.system,
-        point.config,
-        point.hardware,
-        point.cache_fraction,
-        point.policy_name,
+        point.resolved_system_spec, point.config, point.hardware
     )
 
 
@@ -271,10 +297,13 @@ def run_point(point: SweepPoint) -> Any:
     """Evaluate one sweep point: build trace + system, run, reduce."""
     trace = _cached_trace(point.trace_key)
     system = _build_system(point)
-    if point.metric == "hit_rate":
-        return system.aggregate_cache_stats(
-            trace, warmup=point.warmup
-        ).hit_rate
+    if point.metric in _STREAMING_METRICS:
+        aggregate = system.aggregate_cache_stats(trace, warmup=point.warmup)
+        if point.metric == "hit_rate":
+            return aggregate.hit_rate
+        if point.metric == "per_table_hit_rates":
+            return aggregate.per_table_hit_rates()
+        return aggregate
     result = system.run_trace(trace)
     return getattr(result, point.metric)(warmup=point.warmup)
 

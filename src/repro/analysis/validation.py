@@ -17,7 +17,8 @@ import numpy as np
 from repro.data.datasets import locality_distribution
 from repro.data.trace import SyntheticDataset, make_dataset
 from repro.model.config import ModelConfig
-from repro.systems.scratchpipe_system import ScratchPipeSystem
+from repro.api.factory import build_system
+from repro.api.specs import CacheSpec, SystemSpec
 
 
 @dataclass(frozen=True)
@@ -87,7 +88,11 @@ def validate_random_dynamic_hit_rate(
     warmup = -(-slots // per_batch) + 4  # ceil fill time + pipeline depth
     num_batches = warmup + measure_batches
     dataset = make_dataset(config, "random", seed=seed, num_batches=num_batches)
-    system = ScratchPipeSystem(config, hardware, cache_fraction)
+    system = build_system(
+        SystemSpec(system="scratchpipe",
+                   cache=CacheSpec(fraction=cache_fraction)),
+        config, hardware,
+    )
     stats = system.simulate_cache(dataset)
     measured = float(np.mean([s.hit_rate for s in stats[warmup:]]))
     return ValidationReport(

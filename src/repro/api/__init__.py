@@ -1,0 +1,82 @@
+"""``repro.api`` — declarative system assembly.
+
+The composition surface the CLI, the experiment entry points and the sweep
+runner all share:
+
+* **Specs** — :class:`SystemSpec` (composing :class:`CacheSpec`,
+  :class:`ScratchpadSpec`, :class:`PipelineSpec`): frozen, hashable,
+  picklable descriptions of a design point, validated eagerly with named
+  :class:`InvalidSystemSpecError`\\ s and round-tripping losslessly through
+  JSON and the CLI ``table0=0.04,rest=0.005`` shorthand.
+* **Registry** — :func:`register_system` / :func:`register_policy`
+  decorators plus entry-point discovery (groups ``"repro.systems"`` /
+  ``"repro.policies"``), so plugins join the same namespace the builtins
+  live in.
+* **Factory** — :func:`build_system`, the single door every consumer
+  constructs systems through.
+
+Quickstart::
+
+    from repro.api import CacheSpec, SystemSpec, build_system
+    from repro.hardware import DEFAULT_HARDWARE
+    from repro.model import ModelConfig
+
+    spec = SystemSpec(
+        system="scratchpipe",
+        cache=CacheSpec(fraction=0.005,
+                        tables={0: CacheSpec(fraction=0.04)}),
+    )
+    system = build_system(spec, ModelConfig(), DEFAULT_HARDWARE)
+    result = system.run_trace(trace)
+"""
+
+from repro.api.specs import (
+    CacheSpec,
+    InvalidSystemSpecError,
+    PipelineSpec,
+    ResolvedTableCache,
+    ScratchpadSpec,
+    SystemSpec,
+    format_cache_spec,
+    parse_cache_spec,
+    uniform_system_spec,
+)
+from repro.api.registry import (
+    POLICY_ENTRY_POINT_GROUP,
+    SYSTEM_ENTRY_POINT_GROUP,
+    RegistryError,
+    SystemEntry,
+    discover_plugins,
+    register_policy,
+    register_system,
+    registered_policies,
+    registered_systems,
+    system_entries,
+    system_entry,
+)
+from repro.api.factory import as_system_spec, build_system
+
+__all__ = [
+    "CacheSpec",
+    "InvalidSystemSpecError",
+    "PipelineSpec",
+    "ResolvedTableCache",
+    "ScratchpadSpec",
+    "SystemSpec",
+    "format_cache_spec",
+    "parse_cache_spec",
+    "uniform_system_spec",
+    "as_system_spec",
+    "build_system",
+    "POLICY_ENTRY_POINT_GROUP",
+    "SYSTEM_ENTRY_POINT_GROUP",
+    "RegistryError",
+    "SystemEntry",
+    "discover_plugins",
+    "register_policy",
+    "register_system",
+    "registered_policies",
+    "registered_systems",
+    "system_entries",
+    "system_entry",
+]

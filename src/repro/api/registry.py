@@ -1,0 +1,184 @@
+"""Plugin registries: named training systems and replacement policies.
+
+Systems register with the :func:`register_system` class decorator::
+
+    from repro.api import register_system
+    from repro.systems.base import TrainingSystem
+
+    @register_system("my_design", requires_cache=True)
+    class MyDesign(TrainingSystem):
+        name = "my_design"
+        @classmethod
+        def from_spec(cls, spec, config, hardware): ...
+
+and are then buildable through ``repro.api.build_system`` (and by name
+from the CLI and sweep grids).  Replacement policies use
+:func:`repro.core.replacement.register_policy` (re-exported here) and
+become valid ``CacheSpec.policy`` values.
+
+Third-party packages can auto-register via entry points — group
+``"repro.systems"`` or ``"repro.policies"``, each entry loading a module
+or object whose import performs the registration (a loaded class with a
+``name`` attribute is registered directly).  Discovery runs lazily the
+first time the registry is queried and never fails the host process: a
+broken plugin is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.replacement import (  # noqa: F401  (re-exported surface)
+    register_policy,
+    registered_policies,
+)
+
+#: Entry-point groups scanned by :func:`discover_plugins`.
+SYSTEM_ENTRY_POINT_GROUP = "repro.systems"
+POLICY_ENTRY_POINT_GROUP = "repro.policies"
+
+
+class RegistryError(ValueError):
+    """Registration conflict or lookup of an unknown registered name."""
+
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """Registry record of one buildable system.
+
+    Attributes:
+        name: Registered name (``SystemSpec.system`` values).
+        cls: The system class; must expose
+            ``from_spec(spec, config, hardware)``.
+        requires_cache: Whether ``SystemSpec.cache`` is mandatory (the
+            dynamic- and static-cache designs) or must be absent (the
+            cache-less baselines).
+        uses_num_gpus: Whether the builder consumes ``SystemSpec.num_gpus``;
+            single-GPU designs reject specs with ``num_gpus != 1`` instead
+            of silently ignoring the field.
+        description: One-line summary shown by ``repro.cli systems``.
+    """
+
+    name: str
+    cls: type
+    requires_cache: bool = False
+    uses_num_gpus: bool = False
+    description: str = ""
+
+
+_SYSTEMS: Dict[str, SystemEntry] = {}
+_discovered = False
+
+
+def register_system(
+    name: Optional[str] = None,
+    *,
+    requires_cache: bool = False,
+    uses_num_gpus: bool = False,
+    description: Optional[str] = None,
+) -> Callable[[type], type]:
+    """Class decorator registering a system under ``name``.
+
+    ``name`` defaults to the class's ``name`` attribute; ``description``
+    defaults to the first line of the class docstring.  Re-registering an
+    existing name (with a different class) raises :class:`RegistryError` —
+    plugins cannot silently shadow builtins.
+    """
+
+    def decorate(cls: type) -> type:
+        entry_name = name or getattr(cls, "name", None)
+        if not entry_name or not isinstance(entry_name, str):
+            raise RegistryError(
+                f"{cls.__name__} needs a registry name (decorator argument "
+                "or a 'name' class attribute)"
+            )
+        existing = _SYSTEMS.get(entry_name)
+        if existing is not None and existing.cls is not cls:
+            raise RegistryError(
+                f"system {entry_name!r} is already registered to "
+                f"{existing.cls.__name__}"
+            )
+        summary = description
+        if summary is None:
+            doc = (cls.__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+        _SYSTEMS[entry_name] = SystemEntry(
+            name=entry_name,
+            cls=cls,
+            requires_cache=requires_cache,
+            uses_num_gpus=uses_num_gpus,
+            description=summary,
+        )
+        return cls
+
+    return decorate
+
+
+def system_entry(name: str) -> SystemEntry:
+    """Look up one registered system (triggers plugin discovery)."""
+    discover_plugins()
+    try:
+        return _SYSTEMS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown system {name!r}; registered systems: "
+            f"{', '.join(registered_systems())}"
+        ) from None
+
+
+def registered_systems() -> Tuple[str, ...]:
+    """Sorted names of every registered system (triggers discovery)."""
+    discover_plugins()
+    return tuple(sorted(_SYSTEMS))
+
+
+def system_entries() -> Tuple[SystemEntry, ...]:
+    """All registry records, sorted by name (triggers discovery)."""
+    discover_plugins()
+    return tuple(_SYSTEMS[name] for name in sorted(_SYSTEMS))
+
+
+def discover_plugins() -> None:
+    """Load entry-point plugins once (idempotent, failure-tolerant)."""
+    global _discovered
+    if _discovered:
+        return
+    _discovered = True
+    try:
+        # Importing the systems package registers every builtin design
+        # point.  Lazy (not at module import) so that system modules can
+        # themselves import this registry without a cycle.
+        import repro.systems  # noqa: F401
+    except Exception:  # pragma: no cover - never expected for builtins
+        pass
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py<3.8 only
+        return
+    for group in (SYSTEM_ENTRY_POINT_GROUP, POLICY_ENTRY_POINT_GROUP):
+        try:
+            points = metadata.entry_points()
+            if hasattr(points, "select"):  # py3.10+ selectable API
+                group_points = points.select(group=group)
+            else:  # pragma: no cover - py3.9 mapping API
+                group_points = points.get(group, [])
+        except Exception:  # pragma: no cover - broken metadata
+            continue
+        for point in group_points:
+            try:
+                loaded = point.load()
+            except Exception:  # pragma: no cover - broken plugin
+                continue
+            # Importing the target usually registers via decorators; a
+            # loaded class with a ``name`` is also registered directly so
+            # plugins can point at bare classes.
+            if isinstance(loaded, type) and getattr(loaded, "name", None):
+                try:
+                    if group == SYSTEM_ENTRY_POINT_GROUP:
+                        if loaded.name not in _SYSTEMS:
+                            register_system(loaded.name)(loaded)
+                    elif loaded.name not in registered_policies():
+                        register_policy(loaded.name)(loaded)
+                except ValueError:  # pragma: no cover - plugin conflict
+                    continue

@@ -13,17 +13,24 @@ Usage::
     python -m repro.cli --drift-rate 16 compare --locality high
     python -m repro.cli driftsweep --rates 0 1 16 64
     python -m repro.cli scenarios
+    python -m repro.cli systems
+    python -m repro.cli --cache-spec table0=0.04,rest=0.02 compare
+    python -m repro.cli hetero --rhos 0 0.5 --splits 0.02 table0=0.04,rest=0.02
 
 Every subcommand prints the same rows/series the corresponding paper table
 or figure reports, using the calibrated analytic timing model.  The global
 ``--scenario`` / ``--drift-rate`` flags re-run any figure under a
 time-varying workload (see :mod:`repro.data.scenarios`); omitting them
-keeps the stationary legacy traces bit-identical.
+keeps the stationary legacy traces bit-identical.  Systems are always
+constructed through ``repro.api.build_system``: ``--system`` picks any
+registered design (or a full JSON ``SystemSpec``) and ``--cache-spec``
+describes uniform or per-table heterogeneous caches.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import List, Optional
 
 import numpy as np
@@ -37,12 +44,25 @@ from repro.analysis.experiments import (
     fig14_energy,
     fig15a_dim_sensitivity,
     fig15b_lookup_sensitivity,
+    heterogeneous_cache,
     overhead_vi_d,
     replacement_policy_sensitivity,
     table1_cost,
 )
 from repro.analysis.experiments import drift_sensitivity, scenario_comparison
 from repro.analysis.report import banner, format_breakdown, format_table
+from repro.api import (
+    CacheSpec,
+    InvalidSystemSpecError,
+    RegistryError,
+    SystemSpec,
+    as_system_spec,
+    format_cache_spec,
+    parse_cache_spec,
+    registered_policies,
+    system_entries,
+    system_entry,
+)
 from repro.data.datasets import LOCALITY_CLASSES
 from repro.data.scenarios import (
     SCENARIO_PRESETS,
@@ -51,10 +71,6 @@ from repro.data.scenarios import (
     ScenarioSpecError,
     scenario_by_name,
 )
-from repro.systems.hybrid import HybridSystem
-from repro.systems.scratchpipe_system import ScratchPipeSystem
-from repro.systems.static_cache import StaticCacheSystem
-from repro.systems.strawman_system import StrawmanSystem
 
 
 def _scenario(args: argparse.Namespace) -> "ScenarioSpec | None":
@@ -88,6 +104,47 @@ def _reject_scenario_flags(args: argparse.Namespace, what: str) -> None:
             f"{what} does not consume traces, so the global "
             "--scenario/--drift-rate flags do not apply to it"
         )
+
+
+def _cache_spec(args: argparse.Namespace) -> "CacheSpec | None":
+    """Parse the global ``--cache-spec`` flag (None when absent)."""
+    text = getattr(args, "cache_spec", None)
+    if not text:
+        return None
+    try:
+        return parse_cache_spec(text)
+    except InvalidSystemSpecError as error:
+        raise SystemExit(f"invalid --cache-spec: {error}") from None
+
+
+def _dynamic_spec(
+    args: argparse.Namespace, fraction: float, system: str = "scratchpipe"
+) -> SystemSpec:
+    """The spec of the dynamic system a command studies.
+
+    Precedence: ``--system`` (name or JSON) picks the design, then — for
+    designs that take a cache — ``--cache-spec`` overrides its cache and
+    the command's ``--cache`` fraction fills a still-missing one.
+    Cache-less designs (hybrid baselines, multi_gpu) build as-is.
+    """
+    try:
+        if getattr(args, "system", None):
+            spec = as_system_spec(args.system)
+        else:
+            spec = SystemSpec(system=system)
+        if system_entry(spec.system).requires_cache:
+            cache = _cache_spec(args) or spec.cache
+            if cache is None:
+                cache = CacheSpec(fraction=fraction)
+            spec = dataclasses.replace(spec, cache=cache)
+        elif _cache_spec(args) is not None:
+            raise SystemExit(
+                f"system {spec.system!r} takes no cache; "
+                "--cache-spec does not apply to it"
+            )
+        return spec
+    except (InvalidSystemSpecError, RegistryError) as error:
+        raise SystemExit(f"invalid system spec: {error}") from None
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
@@ -220,24 +277,43 @@ def cmd_overhead(args: argparse.Namespace) -> None:
 
 
 def cmd_compare(args: argparse.Namespace) -> None:
-    """Head-to-head latency of the four designs on one trace."""
+    """Head-to-head latency of the designs on one trace.
+
+    ``--cache-spec`` replaces the uniform ``--cache`` fraction for every
+    cached design (including heterogeneous per-table splits); ``--system``
+    appends an extra spec-built row to the comparison.
+    """
     if args.locality not in LOCALITY_CLASSES:
         raise SystemExit(
             f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
         )
     setup = _setup(args)
     trace = setup.trace(args.locality)
-    config, hardware = setup.config, setup.hardware
-    results = {
-        "hybrid": HybridSystem(config, hardware).run_trace(trace).mean_latency(0),
-        "static_cache": StaticCacheSystem(config, hardware, args.cache)
-        .run_trace(trace).mean_latency(0),
-        "strawman": StrawmanSystem(config, hardware, args.cache)
-        .run_trace(trace).mean_latency(8),
-        "scratchpipe": ScratchPipeSystem(config, hardware, args.cache)
-        .run_trace(trace).mean_latency(8),
+    cache = _cache_spec(args) or CacheSpec(fraction=args.cache)
+    specs = {
+        "hybrid": SystemSpec(system="hybrid"),
+        "static_cache": SystemSpec(system="static_cache", cache=cache),
+        "strawman": SystemSpec(system="strawman", cache=cache),
+        "scratchpipe": SystemSpec(system="scratchpipe", cache=cache),
     }
-    print(banner(f"System comparison — {args.locality}, {args.cache:.0%} cache"))
+    if getattr(args, "system", None):
+        extra = _dynamic_spec(args, args.cache)
+        specs[f"custom ({extra.system})"] = extra
+    warmups = {"hybrid": 0, "static_cache": 0}
+    results = {}
+    for name, spec in specs.items():
+        try:
+            system = setup.build(spec)
+        except InvalidSystemSpecError as error:
+            raise SystemExit(f"invalid system spec for {name}: {error}") from None
+        results[name] = system.run_trace(trace).mean_latency(
+            warmups.get(name, 8)
+        )
+    if cache.is_uniform and cache.fraction is not None:
+        cache_label = f"{cache.fraction:.0%} cache"
+    else:
+        cache_label = format_cache_spec(cache)
+    print(banner(f"System comparison — {args.locality}, {cache_label}"))
     print(format_table(
         ["system", "ms/iter", "vs static"],
         [
@@ -255,6 +331,7 @@ def cmd_driftsweep(args: argparse.Namespace) -> None:
         cache_fraction=args.cache,
         localities=tuple(args.localities),
         workers=args.workers,
+        cache=_cache_spec(args),
     )
     print(banner("ScratchPipe hit rate vs hot-set drift rate (rows/batch)"))
     rates = tuple(args.rates)
@@ -281,6 +358,7 @@ def cmd_scenarios(args: argparse.Namespace) -> None:
         cache_fraction=args.cache,
         locality=args.locality,
         workers=args.workers,
+        cache=_cache_spec(args),
     )
     print(banner(
         f"Scenario matrix — {args.locality} base locality, "
@@ -292,6 +370,65 @@ def cmd_scenarios(args: argparse.Namespace) -> None:
             [name, f"{row['mean_latency'] * 1e3:.2f}",
              f"{row['hit_rate']:.1%}"]
             for name, row in out.items()
+        ],
+    ))
+
+
+def cmd_systems(args: argparse.Namespace) -> None:
+    """List every registered system and replacement policy."""
+    _reject_scenario_flags(args, "systems (registry listing)")
+    print(banner("Registered systems (repro.api)"))
+    print(format_table(
+        ["name", "class", "cache", "description"],
+        [
+            [entry.name, entry.cls.__name__,
+             "required" if entry.requires_cache else "-",
+             entry.description]
+            for entry in system_entries()
+        ],
+    ))
+    print(f"\nreplacement policies: {', '.join(registered_policies())}")
+    print("build any of these via --system <name>, a JSON SystemSpec, or "
+          "repro.api.build_system(...)")
+
+
+def cmd_hetero(args: argparse.Namespace) -> None:
+    """Heterogeneous per-table caches under cross-table correlation."""
+    setup = _setup(args)
+    try:
+        splits = {text: parse_cache_spec(text) for text in args.splits}
+    except InvalidSystemSpecError as error:
+        raise SystemExit(f"invalid --splits entry: {error}") from None
+    override = _cache_spec(args)
+    if override is not None:
+        splits[format_cache_spec(override)] = override
+    out = heterogeneous_cache(
+        setup,
+        rhos=tuple(args.rhos),
+        cache_specs=splits or None,
+        locality=args.locality,
+        workers=args.workers,
+    )
+    print(banner(
+        f"Hit rate vs correlation rho x per-table cache split — "
+        f"{args.locality} base locality"
+    ))
+    rhos = tuple(args.rhos)
+    print(format_table(
+        ["cache split"] + [f"rho={rho:g}" for rho in rhos],
+        [
+            [name] + [f"{cells[rho]['hit_rate']:.1%}" for rho in rhos]
+            for name, cells in out.items()
+        ],
+    ))
+    print("\nper-table hit rates at the largest rho:")
+    top_rho = rhos[-1]
+    print(format_table(
+        ["cache split", "per-table hit rate"],
+        [
+            [name,
+             " ".join(f"{rate:.1%}" for rate in cells[top_rho]["per_table"])]
+            for name, cells in out.items()
         ],
     ))
 
@@ -333,7 +470,16 @@ def cmd_timeline(args: argparse.Namespace) -> None:
             f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
         )
     setup = _setup(args)
-    system = ScratchPipeSystem(setup.config, setup.hardware, args.cache)
+    spec = _dynamic_spec(args, args.cache)
+    try:
+        system = setup.build(spec)
+    except InvalidSystemSpecError as error:
+        raise SystemExit(f"invalid system spec: {error}") from None
+    if not hasattr(system, "simulate_cache"):
+        raise SystemExit(
+            f"timeline needs a pipelined dynamic-cache system; "
+            f"{spec.system!r} does not stream the metadata pipeline"
+        )
     stats = system.simulate_cache(setup.trace(args.locality))
     stage_seconds = [
         {k: v.seconds for k, v in
@@ -372,6 +518,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drift-rate", type=float, default=None,
                         help="shortcut: add hot-set drift at this rate "
                              "(rows/batch) to the scenario")
+    parser.add_argument("--system", default=None,
+                        help="registered system name or JSON SystemSpec "
+                             "(compare/timeline; see the systems "
+                             "subcommand for names)")
+    parser.add_argument("--cache-spec", default=None,
+                        help="cache spec shorthand, e.g. "
+                             "'table0=0.04,rest=0.02' — per-table "
+                             "heterogeneous caches for the dynamic-cache "
+                             "commands (compare/timeline/driftsweep/"
+                             "scenarios/hetero)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig6", help="static hit-rate curves")
@@ -411,22 +567,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("overhead", help="scratchpad memory overhead")
     p.set_defaults(func=cmd_overhead)
 
-    p = sub.add_parser("compare", help="four designs on one trace")
+    p = sub.add_parser("compare", help="the designs head-to-head on one trace")
     p.add_argument("--locality", default="medium")
     p.add_argument("--cache", type=float, default=0.02)
-    p.set_defaults(func=cmd_compare)
+    p.set_defaults(func=cmd_compare, supports_system=True,
+                   supports_cache_spec=True)
 
     p = sub.add_parser("driftsweep", help="hit rate vs hot-set drift rate")
     p.add_argument("--rates", type=float, nargs="+",
                    default=[0.0, 1.0, 4.0, 16.0, 64.0])
     p.add_argument("--cache", type=float, default=0.02)
     p.add_argument("--localities", nargs="+", default=["medium", "high"])
-    p.set_defaults(func=cmd_driftsweep)
+    p.set_defaults(func=cmd_driftsweep, supports_cache_spec=True)
 
     p = sub.add_parser("scenarios", help="scenario-matrix comparison")
     p.add_argument("--cache", type=float, default=0.02)
     p.add_argument("--locality", default="medium")
-    p.set_defaults(func=cmd_scenarios)
+    p.set_defaults(func=cmd_scenarios, supports_cache_spec=True)
+
+    p = sub.add_parser("hetero",
+                       help="hit rate vs {correlation rho x per-table "
+                            "cache split}")
+    p.add_argument("--rhos", type=float, nargs="+",
+                   default=[0.0, 0.25, 0.5, 0.75])
+    p.add_argument("--splits", nargs="+", default=[],
+                   help="cache-spec shorthands to compare "
+                        "(default: budget-matched uniform vs "
+                        "table0=0.04,rest=0.02)")
+    p.add_argument("--locality", default="medium")
+    p.set_defaults(func=cmd_hetero, supports_cache_spec=True)
+
+    p = sub.add_parser("systems", help="list registered systems + policies")
+    p.set_defaults(func=cmd_systems)
 
     p = sub.add_parser("validate", help="model-vs-simulator cross-checks")
     p.set_defaults(func=cmd_validate)
@@ -434,7 +606,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("timeline", help="pipeline schedule + utilisation")
     p.add_argument("--locality", default="random")
     p.add_argument("--cache", type=float, default=0.02)
-    p.set_defaults(func=cmd_timeline)
+    p.set_defaults(func=cmd_timeline, supports_system=True,
+                   supports_cache_spec=True)
 
     return parser
 
@@ -442,6 +615,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> None:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.system and not getattr(args, "supports_system", False):
+        raise SystemExit(
+            f"{args.command} does not build a single spec-driven system; "
+            "--system does not apply to it"
+        )
+    if args.cache_spec and not getattr(args, "supports_cache_spec", False):
+        raise SystemExit(
+            f"{args.command} sweeps its own cache sizes; "
+            "--cache-spec does not apply to it"
+        )
     args.func(args)
 
 

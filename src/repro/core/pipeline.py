@@ -66,6 +66,10 @@ class BatchCacheStats:
         misses: Unique rows fetched from CPU ([Collect]/[Exchange]/[Insert]).
         writebacks: Dirty victims returned to the CPU table.
         per_table_misses: Miss count per table (for per-table timing).
+        per_table_hits: Hit count per table (empty on legacy constructors;
+            heterogeneous per-table caches are judged table by table).
+        per_table_unique: Unique-ID count per table (pairs with
+            ``per_table_hits`` to give per-table hit rates).
     """
 
     batch_index: int
@@ -75,6 +79,8 @@ class BatchCacheStats:
     misses: int
     writebacks: int
     per_table_misses: Tuple[int, ...]
+    per_table_hits: Tuple[int, ...] = ()
+    per_table_unique: Tuple[int, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -493,6 +499,8 @@ class ScratchPipePipeline:
             misses=sum(p.num_misses for p in plans),
             writebacks=sum(p.num_writebacks for p in plans),
             per_table_misses=tuple(p.num_misses for p in plans),
+            per_table_hits=tuple(p.num_hits for p in plans),
+            per_table_unique=tuple(p.num_unique for p in plans),
         )
 
     # ------------------------------------------------------------------

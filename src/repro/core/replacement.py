@@ -513,28 +513,66 @@ class RandomPolicy(ReplacementPolicy):
         return np.concatenate([vacant, extra])
 
 
-_POLICIES: Dict[str, Type[ReplacementPolicy]] = {
-    "lru": LruPolicy,
-    "lfu": LfuPolicy,
-    "random": RandomPolicy,
-}
+#: Name -> class registry the ``repro.api`` plugin surface extends via
+#: :func:`register_policy`; the builtins below seed it at import time.
+_POLICIES: Dict[str, Type[ReplacementPolicy]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator registering a :class:`ReplacementPolicy` by name.
+
+    The registered name becomes valid everywhere a policy name is consumed:
+    :func:`make_policy`, ``GpuScratchpad(policy_name=...)`` and the
+    ``repro.api`` spec layer (``CacheSpec.policy``).  Registration is
+    first-wins-forbidden: re-registering an existing name raises, so a
+    plugin cannot silently shadow a builtin.
+    """
+    key = name.lower()
+
+    def decorate(cls: Type[ReplacementPolicy]) -> Type[ReplacementPolicy]:
+        existing = _POLICIES.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"policy {key!r} is already registered to "
+                f"{existing.__name__}"
+            )
+        _POLICIES[key] = cls
+        return cls
+
+    return decorate
+
+
+def registered_policies() -> Tuple[str, ...]:
+    """Sorted names of every registered replacement policy."""
+    return tuple(sorted(_POLICIES))
+
+
+def policy_class(name: str) -> Type[ReplacementPolicy]:
+    """Resolve a registered policy class by (case-insensitive) name."""
+    try:
+        return _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+
+
+register_policy("lru")(LruPolicy)
+register_policy("lfu")(LfuPolicy)
+register_policy("random")(RandomPolicy)
 
 
 def make_policy(
     name: str, num_slots: int, legacy: Optional[bool] = None
 ) -> ReplacementPolicy:
-    """Build a replacement policy by name (``"lru"``/``"lfu"``/``"random"``).
+    """Build a replacement policy by registered name (``"lru"``/``"lfu"``/
+    ``"random"`` plus anything added via :func:`register_policy`).
 
     ``legacy=None`` (the default) reads ``REPRO_LEGACY_SELECT`` from the
     environment, so a whole run can be flipped to the scan oracle for
     verification without threading a flag through every constructor.
     """
-    try:
-        policy_cls = _POLICIES[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
-        ) from None
+    policy_cls = policy_class(name)
     if legacy is None:
         legacy = bool(int(os.environ.get("REPRO_LEGACY_SELECT", "0") or "0"))
     return policy_cls(num_slots=num_slots, legacy=legacy)

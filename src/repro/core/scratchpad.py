@@ -345,6 +345,25 @@ class GpuScratchpad:
         return self.hit_map.occupancy()
 
 
+def per_table(value, num_tables: int, what: str) -> tuple:
+    """Broadcast a scalar (or validate a per-table sequence) to a tuple.
+
+    The per-table sizing hook every scratchpad builder shares: a scalar
+    (slot count, policy name, ``None``) applies uniformly; a sequence must
+    name exactly one value per table — the heterogeneous-cache path sizes
+    each table's Hit-Map/Hold-mask/policy independently.
+    """
+    if isinstance(value, (str, int, np.integer)) or value is None:
+        return (value,) * num_tables
+    values = tuple(value)
+    if len(values) != num_tables:
+        raise ValueError(
+            f"per-table {what} needs one value per table "
+            f"({num_tables}), got {len(values)}"
+        )
+    return values
+
+
 def required_slots(config: ModelConfig, window_batches: int = 6) -> int:
     """Worst-case Storage rows per table for a hazard-free window.
 

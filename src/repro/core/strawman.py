@@ -19,26 +19,36 @@ import numpy as np
 
 from repro.core.hitmap import EMPTY
 from repro.core.pipeline import BatchCacheStats, PipelineTrainer
-from repro.core.scratchpad import GpuScratchpad, TablePlan
+from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
 from repro.data.trace import MiniBatch
 from repro.model.config import ModelConfig
 
 
 def make_strawman_scratchpads(
     config: ModelConfig,
-    num_slots: int,
-    policy_name: str = "lru",
+    num_slots,
+    policy_name="lru",
     with_storage: bool = False,
+    legacy_select: Optional[bool] = None,
 ) -> List[GpuScratchpad]:
-    """Build per-table scratchpads configured for sequential execution."""
+    """Build per-table scratchpads configured for sequential execution.
+
+    ``num_slots``/``policy_name`` accept a uniform scalar or a per-table
+    sequence (the heterogeneous-cache path).  The hold-mask past window is
+    fixed at 0 — sequential execution has no concurrent batches to
+    protect, and a larger window would only restrict victim choice.
+    """
+    slots = per_table(num_slots, config.num_tables, "num_slots")
+    policies = per_table(policy_name, config.num_tables, "policy_name")
     return [
         GpuScratchpad(
-            num_slots=num_slots,
+            num_slots=slots[table],
             num_rows=config.rows_per_table,
             dim=config.embedding_dim,
             past_window=0,
-            policy_name=policy_name,
+            policy_name=policies[table],
             with_storage=with_storage,
+            legacy_select=legacy_select,
             table_index=table,
         )
         for table in range(config.num_tables)
@@ -116,6 +126,8 @@ class StrawmanCache:
             misses=sum(p.num_misses for p in plans),
             writebacks=sum(p.num_writebacks for p in plans),
             per_table_misses=tuple(p.num_misses for p in plans),
+            per_table_hits=tuple(p.num_hits for p in plans),
+            per_table_unique=tuple(p.num_unique for p in plans),
         )
 
     def run(self, dataset_batches: object, num_batches: Optional[int] = None) -> List[BatchCacheStats]:

@@ -25,6 +25,7 @@ from repro.systems.multigpu_scratchpipe import (
     tco_comparison,
 )
 from repro.systems.scratchpipe_system import (
+    AggregateCacheStats,
     ScratchPipeSystem,
     ScratchPipeTrainer,
     ScratchPipeTrainingRun,
@@ -60,6 +61,7 @@ __all__ = [
     "OverlappedHybridSystem",
     "MultiGpuScratchPipeSystem",
     "tco_comparison",
+    "AggregateCacheStats",
     "ScratchPipeSystem",
     "ScratchPipeTrainer",
     "ScratchPipeTrainingRun",

@@ -30,7 +30,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.pipeline import HazardMonitor, ScratchPipePipeline
-from repro.core.scratchpad import GpuScratchpad, TablePlan
+from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
 from repro.data.trace import MiniBatch
 from repro.model.adagrad import DenseAdagrad
 from repro.model.config import ModelConfig
@@ -139,10 +139,10 @@ class AdagradScratchPipeRun:
     config: ModelConfig
     weight_tables: Sequence[np.ndarray]
     dense_network: DenseNetwork
-    num_slots: int
+    num_slots: object
     lr: float = 0.01
     eps: float = 1e-10
-    policy_name: str = "lru"
+    policy_name: object = "lru"
     future_window: int = 2
     monitor: Optional[HazardMonitor] = None
     cpu_tables: List[np.ndarray] = field(init=False)
@@ -151,21 +151,60 @@ class AdagradScratchPipeRun:
 
     def __post_init__(self) -> None:
         self.cpu_tables = augment_tables(self.weight_tables)
+        slots = per_table(self.num_slots, self.config.num_tables, "num_slots")
+        policies = per_table(
+            self.policy_name, self.config.num_tables, "policy_name"
+        )
         self.scratchpads = [
             GpuScratchpad(
-                num_slots=self.num_slots,
+                num_slots=slots[table],
                 num_rows=self.config.rows_per_table,
                 dim=self.config.embedding_dim + 1,
-                policy_name=self.policy_name,
+                policy_name=policies[table],
                 with_storage=True,
             )
-            for _ in range(self.config.num_tables)
+            for table in range(self.config.num_tables)
         ]
         self.trainer = AdagradScratchPipeTrainer(
             config=self.config,
             dense_network=self.dense_network,
             lr=self.lr,
             eps=self.eps,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        config: ModelConfig,
+        weight_tables: Sequence[np.ndarray],
+        dense_network: DenseNetwork,
+        lr: float = 0.01,
+        eps: float = 1e-10,
+        monitor: Optional[HazardMonitor] = None,
+    ) -> "AdagradScratchPipeRun":
+        """Adagrad training run described by a ``repro.api.SystemSpec``.
+
+        The (possibly heterogeneous) cache spec sizes each table's
+        storage-backed scratchpad independently.
+        """
+        from repro.api.specs import InvalidSystemSpecError
+
+        if spec.cache is None:
+            raise InvalidSystemSpecError(
+                "a functional Adagrad ScratchPipe run requires a cache spec"
+            )
+        resolved = spec.cache.resolve(config.num_tables, config.rows_per_table)
+        return cls(
+            config=config,
+            weight_tables=weight_tables,
+            dense_network=dense_network,
+            num_slots=tuple(r.slots for r in resolved),
+            lr=lr,
+            eps=eps,
+            policy_name=tuple(r.policy for r in resolved),
+            future_window=spec.pipeline.future_window,
+            monitor=monitor,
         )
 
     def run(self, dataset_batches: object, num_batches: Optional[int] = None):

@@ -158,7 +158,7 @@ def batch_access_stats(batch: MiniBatch) -> BatchAccessStats:
 class TrainingSystem:
     """Interface every design point implements."""
 
-    #: Display name used in reports.
+    #: Display name used in reports (doubles as the default registry name).
     name: str = "abstract"
 
     def __init__(self, config: ModelConfig, hardware: HardwareSpec) -> None:
@@ -166,6 +166,22 @@ class TrainingSystem:
         self.hardware = hardware
         self.cost = CostModel(hardware=hardware, config=config)
         self.energy_model = EnergyModel(hardware=hardware)
+        #: The ``repro.api.SystemSpec`` this instance was built from, or
+        #: ``None`` for legacy positional construction.
+        self.spec = None
+
+    @classmethod
+    def from_spec(cls, spec, config: ModelConfig, hardware: HardwareSpec):
+        """Build from a ``repro.api.SystemSpec``.
+
+        The default covers systems with no configuration beyond
+        ``(config, hardware)``; designs with caches or GPU counts
+        override it.  ``repro.api.build_system`` is the public door —
+        it validates the spec/registry pairing before delegating here.
+        """
+        system = cls(config, hardware)
+        system.spec = spec
+        return system
 
     def run_trace(
         self, dataset_batches: object, num_batches: Optional[int] = None

@@ -33,6 +33,13 @@ from repro.systems.base import (
 )
 
 
+from repro.api.registry import register_system
+
+
+@register_system(
+    "hybrid",
+    description="No-cache hybrid CPU-GPU baseline (Figure 4(a))",
+)
 class HybridSystem(TrainingSystem):
     """Timing model of the no-cache hybrid CPU-GPU baseline."""
 

@@ -38,6 +38,14 @@ HOT_ROW_CONTENTION_ALPHA = 0.15
 ATOMIC_SCATTER_ALPHA = 1.0
 
 
+from repro.api.registry import register_system
+
+
+@register_system(
+    "multi_gpu",
+    uses_num_gpus=True,
+    description="GPU-only model-parallel baseline (Table I's 8-GPU system)",
+)
 class MultiGpuSystem(TrainingSystem):
     """Analytic timing model of the GPU-only model-parallel system."""
 
@@ -48,6 +56,12 @@ class MultiGpuSystem(TrainingSystem):
         if num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
         self.num_gpus = num_gpus
+
+    @classmethod
+    def from_spec(cls, spec, config, hardware):
+        system = cls(config, hardware, num_gpus=spec.num_gpus)
+        system.spec = spec
+        return system
 
     def iteration_breakdown(self, stats: BatchAccessStats) -> IterationBreakdown:
         """Price one iteration of the multi-GPU system."""

@@ -45,6 +45,17 @@ from repro.systems.base import StageTime, gpu_stage, transfer_stage
 _STAGE_OFFSETS = {PLAN: 1, COLLECT: 2, EXCHANGE: 3, INSERT: 4, TRAIN: 5}
 
 
+from repro.api.registry import register_system
+from repro.api.specs import InvalidSystemSpecError, SystemSpec
+from repro.systems.scratchpipe_system import _legacy_shim_spec
+
+
+@register_system(
+    "multi_gpu_scratchpipe",
+    requires_cache=True,
+    uses_num_gpus=True,
+    description="ScratchPipe over table-parallel GPUs (Section VI-G)",
+)
 class MultiGpuScratchPipeSystem(TrainingSystem):
     """Analytic timing of ScratchPipe over ``num_gpus`` table-parallel GPUs."""
 
@@ -54,12 +65,26 @@ class MultiGpuScratchPipeSystem(TrainingSystem):
         self,
         config: ModelConfig,
         hardware,
-        cache_fraction: float,
+        cache_fraction: "float | None" = None,
         num_gpus: int = 2,
         policy_name: str = "lru",
         future_window: int = 2,
+        *,
+        spec: "SystemSpec | None" = None,
     ) -> None:
         super().__init__(config, hardware)
+        if spec is None:
+            spec = _legacy_shim_spec(
+                self.name, cache_fraction, policy_name, future_window,
+                num_gpus=num_gpus,
+            )
+        elif cache_fraction is not None:
+            raise TypeError(
+                "pass either a spec or positional cache parameters, not both"
+            )
+        if spec.cache is None:
+            raise InvalidSystemSpecError(f"{self.name} requires a cache spec")
+        num_gpus = spec.num_gpus
         if num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
         if config.num_tables % num_gpus != 0:
@@ -67,15 +92,23 @@ class MultiGpuScratchPipeSystem(TrainingSystem):
                 f"num_gpus ({num_gpus}) must divide num_tables "
                 f"({config.num_tables}) for table-wise partitioning"
             )
+        self.spec = spec
         self.num_gpus = num_gpus
-        self.cache_fraction = cache_fraction
-        self.future_window = future_window
-        # Cache behaviour per table is unchanged — reuse the single-GPU
-        # simulator for hit/miss/victim statistics.
-        self._cache_sim = ScratchPipeSystem(
-            config, hardware, cache_fraction,
-            policy_name=policy_name, future_window=future_window,
+        self.cache_fraction = (
+            spec.cache.fraction if spec.cache.is_uniform else None
         )
+        self.future_window = spec.pipeline.future_window
+        # Cache behaviour per table is unchanged — reuse the single-GPU
+        # simulator for hit/miss/victim statistics (heterogeneous per-table
+        # caches flow through unchanged).
+        self._cache_sim = ScratchPipeSystem(
+            config, hardware,
+            spec=spec.with_system("scratchpipe"),
+        )
+
+    @classmethod
+    def from_spec(cls, spec, config, hardware):
+        return cls(config, hardware, spec=spec)
 
     # ------------------------------------------------------------------
     # Per-stage pricing

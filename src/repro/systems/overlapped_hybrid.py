@@ -44,6 +44,14 @@ from repro.systems.base import (
 from repro.hardware.energy import CPU, GPU, EnergySlice
 
 
+from repro.api.registry import register_system
+
+
+@register_system(
+    "overlapped_hybrid",
+    description="Hybrid baseline with software-pipelined CPU/GPU overlap, "
+                "no cache",
+)
 class OverlappedHybridSystem(TrainingSystem):
     """Hybrid CPU-GPU with software-pipelined CPU/GPU overlap, no cache."""
 

@@ -14,17 +14,25 @@ array — the paper's "training at GPU memory speed".
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import register_system
+from repro.api.specs import (
+    CacheSpec,
+    InvalidSystemSpecError,
+    PipelineSpec,
+    SystemSpec,
+)
 from repro.core.pipeline import (
     BatchCacheStats,
     HazardMonitor,
     ScratchPipePipeline,
 )
-from repro.core.scratchpad import GpuScratchpad, TablePlan
+from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
 from repro.data.trace import MiniBatch
 from repro.hardware.energy import CPU, GPU, EnergySlice
 from repro.model.config import ModelConfig
@@ -85,20 +93,27 @@ def _pipelined_cycle_times(
 
 def make_scratchpads(
     config: ModelConfig,
-    num_slots: int,
-    policy_name: str = "lru",
+    num_slots: Union[int, Sequence[int]],
+    policy_name: Union[str, Sequence[str]] = "lru",
     with_storage: bool = False,
     past_window: int = 3,
     legacy_select: "Optional[bool]" = None,
 ) -> List[GpuScratchpad]:
-    """Build one pipelined-mode scratchpad per table."""
+    """Build one pipelined-mode scratchpad per table.
+
+    ``num_slots`` and ``policy_name`` accept either a uniform scalar or a
+    per-table sequence — the heterogeneous-cache path sizes each table's
+    Hit-Map/Hold-mask/policy independently.
+    """
+    slots = per_table(num_slots, config.num_tables, "num_slots")
+    policies = per_table(policy_name, config.num_tables, "policy_name")
     return [
         GpuScratchpad(
-            num_slots=num_slots,
+            num_slots=slots[table],
             num_rows=config.rows_per_table,
             dim=config.embedding_dim,
             past_window=past_window,
-            policy_name=policy_name,
+            policy_name=policies[table],
             with_storage=with_storage,
             legacy_select=legacy_select,
             table_index=table,
@@ -112,7 +127,9 @@ class AggregateCacheStats:
     """Running totals of a streamed metadata run.
 
     Attributes mirror the per-batch :class:`BatchCacheStats` counters,
-    summed over every retired batch past the warm-up prefix.
+    summed over every retired batch past the warm-up prefix, plus
+    per-table rollups — the observable the heterogeneous-cache studies
+    read (how does table 0's 4 % cache fare against table 3's 0.5 %?).
     """
 
     batches: int = 0
@@ -121,6 +138,9 @@ class AggregateCacheStats:
     hits: int = 0
     misses: int = 0
     writebacks: int = 0
+    per_table_hits: Tuple[int, ...] = ()
+    per_table_unique: Tuple[int, ...] = ()
+    per_table_misses: Tuple[int, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -129,9 +149,85 @@ class AggregateCacheStats:
             return 0.0
         return self.hits / self.unique_ids
 
+    def per_table_hit_rates(self) -> Tuple[float, ...]:
+        """Plan-stage hit rate of each table's cache manager."""
+        return tuple(
+            hits / unique if unique else 0.0
+            for hits, unique in zip(self.per_table_hits, self.per_table_unique)
+        )
 
+    def add(self, stats: BatchCacheStats) -> None:
+        """Fold one retired batch's counters into the running totals."""
+        self.batches += 1
+        self.total_lookups += stats.total_lookups
+        self.unique_ids += stats.unique_ids
+        self.hits += stats.hits
+        self.misses += stats.misses
+        self.writebacks += stats.writebacks
+        if stats.per_table_hits:
+            if self.per_table_hits:
+                self.per_table_hits = tuple(
+                    a + b for a, b in zip(self.per_table_hits,
+                                          stats.per_table_hits)
+                )
+                self.per_table_unique = tuple(
+                    a + b for a, b in zip(self.per_table_unique,
+                                          stats.per_table_unique)
+                )
+                self.per_table_misses = tuple(
+                    a + b for a, b in zip(self.per_table_misses,
+                                          stats.per_table_misses)
+                )
+            else:
+                self.per_table_hits = tuple(stats.per_table_hits)
+                self.per_table_unique = tuple(stats.per_table_unique)
+                self.per_table_misses = tuple(stats.per_table_misses)
+
+
+def _legacy_shim_spec(
+    system_name: str,
+    cache_fraction: Optional[float],
+    policy_name: str,
+    future_window: int,
+    num_gpus: int = 1,
+) -> SystemSpec:
+    """Synthesize the uniform spec a deprecated positional call describes."""
+    warnings.warn(
+        f"positional {system_name} construction is deprecated; build "
+        "through repro.api.build_system(SystemSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if cache_fraction is None:
+        raise TypeError(
+            f"{system_name} needs either cache_fraction or spec="
+        )
+    return SystemSpec(
+        system=system_name,
+        cache=CacheSpec(fraction=cache_fraction, policy=policy_name),
+        pipeline=PipelineSpec(future_window=future_window),
+        num_gpus=num_gpus,
+    )
+
+
+@register_system(
+    "scratchpipe",
+    requires_cache=True,
+    description="Pipelined ScratchPipe: dynamic per-table GPU cache, "
+                "6-stage pipeline (the paper's design)",
+)
 class ScratchPipeSystem(TrainingSystem):
-    """Timing model of the pipelined ScratchPipe design point."""
+    """Timing model of the pipelined ScratchPipe design point.
+
+    Spec-based construction (``build_system`` / ``spec=``) is the primary
+    path and enables heterogeneous per-table caches: each table's
+    Hit-Map/Hold-mask/policy triple is sized independently from the
+    resolved :class:`~repro.api.specs.CacheSpec`, and per-table statistics
+    roll up through :class:`AggregateCacheStats`.  The positional
+    ``(config, hardware, cache_fraction, ...)`` form survives as a
+    deprecation-warned shim that synthesizes the equivalent uniform spec —
+    bit-identical outputs.
+    """
 
     name = "scratchpipe"
 
@@ -139,20 +235,50 @@ class ScratchPipeSystem(TrainingSystem):
         self,
         config: ModelConfig,
         hardware,
-        cache_fraction: float,
+        cache_fraction: Optional[float] = None,
         policy_name: str = "lru",
         future_window: int = 2,
+        *,
+        spec: Optional[SystemSpec] = None,
     ) -> None:
         super().__init__(config, hardware)
-        if not 0.0 < cache_fraction <= 1.0:
-            raise ValueError(
-                f"cache_fraction must be in (0, 1], got {cache_fraction}"
+        if spec is None:
+            spec = _legacy_shim_spec(
+                self.name, cache_fraction, policy_name, future_window
             )
-        self.cache_fraction = cache_fraction
-        self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
-        self.policy_name = policy_name
-        self.future_window = future_window
+        elif cache_fraction is not None:
+            raise TypeError(
+                "pass either a spec or positional cache parameters, not both"
+            )
+        if spec.system != self.name:
+            raise InvalidSystemSpecError(
+                f"spec names system {spec.system!r} but is being built as "
+                f"{self.name!r}"
+            )
+        if spec.cache is None:
+            raise InvalidSystemSpecError(
+                f"{self.name} requires a cache spec"
+            )
+        self.spec = spec
+        resolved = spec.cache.resolve(config.num_tables, config.rows_per_table)
+        #: Per-table scratchpad capacities/policies (uniform specs repeat
+        #: one value; the heterogeneous path sizes each independently).
+        self.table_slots: Tuple[int, ...] = tuple(r.slots for r in resolved)
+        self.table_policies: Tuple[str, ...] = tuple(r.policy for r in resolved)
+        #: Legacy uniform attributes: the shared fraction/policy where the
+        #: spec is uniform, else ``None``/the default entry and the largest
+        #: per-table capacity.
+        self.cache_fraction = (
+            spec.cache.fraction if spec.cache.is_uniform else None
+        )
+        self.num_slots = max(self.table_slots)
+        self.policy_name = spec.cache.policy
+        self.future_window = spec.pipeline.future_window
         self._scratchpads: Optional[List[GpuScratchpad]] = None
+
+    @classmethod
+    def from_spec(cls, spec, config, hardware):
+        return cls(config, hardware, spec=spec)
 
     def _reusable_scratchpads(self) -> List[GpuScratchpad]:
         """Metadata-only scratchpads, built once per system and reset per run.
@@ -164,7 +290,12 @@ class ScratchPipeSystem(TrainingSystem):
         """
         if self._scratchpads is None:
             self._scratchpads = make_scratchpads(
-                self.config, self.num_slots, policy_name=self.policy_name
+                self.config,
+                self.table_slots,
+                policy_name=self.table_policies,
+                with_storage=self.spec.scratchpad.with_storage,
+                past_window=self.spec.scratchpad.past_window,
+                legacy_select=self.spec.scratchpad.legacy_select,
             )
         else:
             for scratchpad in self._scratchpads:
@@ -191,6 +322,7 @@ class ScratchPipeSystem(TrainingSystem):
             dataset_batches=dataset_batches,
             future_window=self.future_window,
             monitor=monitor,
+            unique_cache=self.spec.pipeline.unique_cache,
         )
         return pipeline.run(num_batches).cache_stats
 
@@ -213,6 +345,7 @@ class ScratchPipeSystem(TrainingSystem):
             dataset_batches=dataset_batches,
             future_window=self.future_window,
             monitor=monitor,
+            unique_cache=self.spec.pipeline.unique_cache,
         )
         return pipeline.stream(num_batches)
 
@@ -237,12 +370,7 @@ class ScratchPipeSystem(TrainingSystem):
         for stats in self.stream_cache_stats(dataset_batches, num_batches):
             for totals in ((full, steady) if stats.batch_index >= warmup
                            else (full,)):
-                totals.batches += 1
-                totals.total_lookups += stats.total_lookups
-                totals.unique_ids += stats.unique_ids
-                totals.hits += stats.hits
-                totals.misses += stats.misses
-                totals.writebacks += stats.writebacks
+                totals.add(stats)
         return steady if steady.batches else full
 
     def run_trace(
@@ -355,9 +483,9 @@ class ScratchPipeTrainingRun:
     config: ModelConfig
     cpu_tables: List[np.ndarray]
     dense_network: DenseNetwork
-    num_slots: int
+    num_slots: Union[int, Sequence[int]]
     optimizer: SGD = field(default_factory=SGD)
-    policy_name: str = "lru"
+    policy_name: Union[str, Sequence[str]] = "lru"
     future_window: int = 2
     monitor: Optional[HazardMonitor] = None
     scratchpads: List[GpuScratchpad] = field(init=False)
@@ -374,6 +502,37 @@ class ScratchPipeTrainingRun:
             config=self.config,
             dense_network=self.dense_network,
             optimizer=self.optimizer,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: SystemSpec,
+        config: ModelConfig,
+        cpu_tables: List[np.ndarray],
+        dense_network: DenseNetwork,
+        optimizer: Optional[SGD] = None,
+        monitor: Optional[HazardMonitor] = None,
+    ) -> "ScratchPipeTrainingRun":
+        """Functional training run described by a ``SystemSpec``.
+
+        Resolves the (possibly per-table heterogeneous) cache spec into
+        independently sized storage-backed scratchpads.
+        """
+        if spec.cache is None:
+            raise InvalidSystemSpecError(
+                "a functional ScratchPipe run requires a cache spec"
+            )
+        resolved = spec.cache.resolve(config.num_tables, config.rows_per_table)
+        return cls(
+            config=config,
+            cpu_tables=cpu_tables,
+            dense_network=dense_network,
+            num_slots=tuple(r.slots for r in resolved),
+            optimizer=optimizer if optimizer is not None else SGD(),
+            policy_name=tuple(r.policy for r in resolved),
+            future_window=spec.pipeline.future_window,
+            monitor=monitor,
         )
 
     def run(self, dataset_batches: object, num_batches: Optional[int] = None):

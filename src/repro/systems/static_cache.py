@@ -10,15 +10,19 @@ duplicate-coalesce-scatter path plus PCIe crossings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import register_system
+from repro.api.specs import InvalidSystemSpecError, SystemSpec
+from repro.core.scratchpad import per_table
 from repro.data.trace import MiniBatch
 from repro.model.config import ModelConfig
 from repro.model.dlrm import DenseNetwork
 from repro.model.embedding import coalesce_gradients, duplicate_gradients
 from repro.model.optimizer import SGD
+from repro.systems.scratchpipe_system import _legacy_shim_spec
 from repro.systems.base import (
     CPU_EMB_BACKWARD,
     CPU_EMB_FORWARD,
@@ -57,24 +61,28 @@ class SplitStats:
         return self.hit_lookups / self.total_lookups
 
 
-def split_batch(batch: MiniBatch, hot_rows: int) -> SplitStats:
+def split_batch(
+    batch: MiniBatch, hot_rows: Union[int, Tuple[int, ...]]
+) -> SplitStats:
     """Split a batch's lookups into static-cache hits and misses.
 
     The synthetic distributions rank rows by popularity with row ID == rank,
     so the top-N hot set is exactly ``ids < hot_rows`` (see
-    ``repro.data.distributions``).
+    ``repro.data.distributions``).  ``hot_rows`` may be a per-table
+    sequence (heterogeneous pinning budgets) or a uniform scalar.
     """
+    thresholds = per_table(hot_rows, batch.num_tables, "hot_rows")
     hit_lookups = 0
     miss_lookups = 0
     hit_unique = 0
     miss_unique = 0
     for table in range(batch.num_tables):
         ids = batch.table_ids(table)
-        hits = ids < hot_rows
+        hits = ids < thresholds[table]
         hit_lookups += int(hits.sum())
         miss_lookups += int(ids.size - hits.sum())
         unique = batch.unique_table_ids(table)
-        unique_hits = int((unique < hot_rows).sum())
+        unique_hits = int((unique < thresholds[table]).sum())
         hit_unique += unique_hits
         miss_unique += int(unique.size - unique_hits)
     return SplitStats(
@@ -85,6 +93,11 @@ def split_batch(batch: MiniBatch, hot_rows: int) -> SplitStats:
     )
 
 
+@register_system(
+    "static_cache",
+    requires_cache=True,
+    description="Static top-N pinned GPU embedding cache (Figure 4(b))",
+)
 class StaticCacheSystem(TrainingSystem):
     """Timing model of the static-cache CPU-GPU design (Figure 4(b))."""
 
@@ -94,15 +107,35 @@ class StaticCacheSystem(TrainingSystem):
         self,
         config: ModelConfig,
         hardware,
-        cache_fraction: float,
+        cache_fraction: Optional[float] = None,
+        *,
+        spec: Optional[SystemSpec] = None,
     ) -> None:
         super().__init__(config, hardware)
-        if not 0.0 < cache_fraction <= 1.0:
-            raise ValueError(
-                f"cache_fraction must be in (0, 1], got {cache_fraction}"
+        if spec is None:
+            spec = _legacy_shim_spec(self.name, cache_fraction, "lru", 2)
+        elif cache_fraction is not None:
+            raise TypeError(
+                "pass either a spec or positional cache parameters, not both"
             )
-        self.cache_fraction = cache_fraction
-        self.hot_rows = max(1, int(cache_fraction * config.rows_per_table))
+        if spec.cache is None:
+            raise InvalidSystemSpecError(f"{self.name} requires a cache spec")
+        self.spec = spec
+        resolved = spec.cache.resolve(config.num_tables, config.rows_per_table)
+        #: Per-table pinned-row budgets (replacement policy does not apply
+        #: to a never-evicting static cache and is ignored).
+        self.table_hot_rows: Tuple[int, ...] = tuple(r.slots for r in resolved)
+        self.cache_fraction = (
+            spec.cache.fraction if spec.cache.is_uniform else None
+        )
+        self.hot_rows: Union[int, Tuple[int, ...]] = (
+            self.table_hot_rows[0] if spec.cache.is_uniform
+            else self.table_hot_rows
+        )
+
+    @classmethod
+    def from_spec(cls, spec, config, hardware):
+        return cls(config, hardware, spec=spec)
 
     def iteration_breakdown(self, split: SplitStats) -> IterationBreakdown:
         """Price one iteration from the batch's hit/miss split."""

@@ -7,15 +7,23 @@ stage latencies — the cache-management steps sit on the critical path.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.api.registry import register_system
+from repro.api.specs import InvalidSystemSpecError, SystemSpec
 from repro.core.scratchpad import GpuScratchpad
 from repro.core.strawman import StrawmanCache, make_strawman_scratchpads
 from repro.model.config import ModelConfig
 from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
+from repro.systems.scratchpipe_system import _legacy_shim_spec
 from repro.systems.stages import cache_stage_times
 
 
+@register_system(
+    "strawman",
+    requires_cache=True,
+    description="Sequential dynamic cache without pipelining (Section IV-B)",
+)
 class StrawmanSystem(TrainingSystem):
     """Sequential dynamic-cache design point (Section IV-B)."""
 
@@ -25,25 +33,46 @@ class StrawmanSystem(TrainingSystem):
         self,
         config: ModelConfig,
         hardware,
-        cache_fraction: float,
+        cache_fraction: Optional[float] = None,
         policy_name: str = "lru",
+        *,
+        spec: Optional[SystemSpec] = None,
     ) -> None:
         super().__init__(config, hardware)
-        if not 0.0 < cache_fraction <= 1.0:
-            raise ValueError(
-                f"cache_fraction must be in (0, 1], got {cache_fraction}"
+        if spec is None:
+            spec = _legacy_shim_spec(
+                self.name, cache_fraction, policy_name, future_window=2
             )
-        self.cache_fraction = cache_fraction
-        self.num_slots = max(1, int(cache_fraction * config.rows_per_table))
-        self.policy_name = policy_name
+        elif cache_fraction is not None:
+            raise TypeError(
+                "pass either a spec or positional cache parameters, not both"
+            )
+        if spec.cache is None:
+            raise InvalidSystemSpecError(f"{self.name} requires a cache spec")
+        self.spec = spec
+        resolved = spec.cache.resolve(config.num_tables, config.rows_per_table)
+        self.table_slots: Tuple[int, ...] = tuple(r.slots for r in resolved)
+        self.table_policies: Tuple[str, ...] = tuple(r.policy for r in resolved)
+        self.cache_fraction = (
+            spec.cache.fraction if spec.cache.is_uniform else None
+        )
+        self.num_slots = max(self.table_slots)
+        self.policy_name = spec.cache.policy
         self._scratchpads = None
+
+    @classmethod
+    def from_spec(cls, spec, config, hardware):
+        return cls(config, hardware, spec=spec)
 
     def _make_cache(self) -> StrawmanCache:
         # Like ScratchPipeSystem, reuse the scratchpads (and their dense
         # Hit-Map indices) across run_trace calls, resetting in place.
         if self._scratchpads is None:
             self._scratchpads = make_strawman_scratchpads(
-                self.config, self.num_slots, policy_name=self.policy_name
+                self.config, self.table_slots,
+                policy_name=self.table_policies,
+                with_storage=self.spec.scratchpad.with_storage,
+                legacy_select=self.spec.scratchpad.legacy_select,
             )
         else:
             for scratchpad in self._scratchpads:

@@ -47,6 +47,63 @@ class TestCommands:
             main(["compare", "--locality", "extreme"])
 
 
+class TestSpecFlags:
+    def test_systems_listing(self, capsys):
+        main(["systems"])
+        out = capsys.readouterr().out
+        assert "scratchpipe" in out and "static_cache" in out
+        assert "lru" in out and "random" in out
+
+    def test_cache_spec_on_compare(self, capsys):
+        main(["--batches", "8", "--cache-spec", "table0=0.2,rest=0.05",
+              "compare", "--locality", "medium"])
+        out = capsys.readouterr().out
+        assert "table0=0.2" in out
+        assert "scratchpipe" in out
+
+    def test_system_json_adds_compare_row(self, capsys):
+        import json
+
+        spec = json.dumps({
+            "system": "strawman",
+            "cache": {"fraction": 0.05, "policy": "random"},
+        })
+        main(["--batches", "8", "--system", spec, "compare"])
+        out = capsys.readouterr().out
+        assert "custom (strawman)" in out
+
+    def test_bad_cache_spec_is_clean_error(self):
+        with pytest.raises(SystemExit, match="invalid --cache-spec"):
+            main(["--cache-spec", "nonsense=,", "compare"])
+
+    def test_cacheless_system_row_on_compare(self, capsys):
+        main(["--batches", "8", "--system", "multi_gpu", "compare"])
+        out = capsys.readouterr().out
+        assert "custom (multi_gpu)" in out
+
+    def test_cache_spec_rejected_for_cacheless_system(self):
+        with pytest.raises(SystemExit, match="takes no cache"):
+            main(["--batches", "8", "--system", "hybrid",
+                  "--cache-spec", "0.05", "compare"])
+
+    def test_unknown_system_is_clean_error(self):
+        with pytest.raises(SystemExit, match="invalid system spec"):
+            main(["--batches", "8", "--system", "warp_drive", "compare"])
+
+    def test_flags_rejected_where_not_applicable(self):
+        with pytest.raises(SystemExit, match="--system does not apply"):
+            main(["--system", "scratchpipe", "fig13"])
+        with pytest.raises(SystemExit, match="--cache-spec does not apply"):
+            main(["--cache-spec", "0.02", "fig13"])
+
+    def test_hetero_in_parser(self):
+        args = build_parser().parse_args(
+            ["hetero", "--rhos", "0", "0.5", "--splits", "0.02"]
+        )
+        assert args.command == "hetero"
+        assert args.rhos == [0.0, 0.5]
+
+
 class TestNewCommands:
     def test_validate_in_parser(self):
         args = build_parser().parse_args(["validate"])

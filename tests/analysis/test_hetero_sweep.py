@@ -1,0 +1,164 @@
+"""Spec-shipping dispatch for heterogeneous system grids.
+
+PR 3 proved sweep workers receive *scenario* specs, never traces; this
+extends the contract to *system* specs: a grid point carries a
+``(SystemSpec, ScenarioSpec)`` pair, pickles small, and a heterogeneous
+per-table cache grid runs through ``run_grid(workers>1)`` bit-identically
+to the serial reference.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSetup,
+    default_heterogeneous_splits,
+    heterogeneous_cache,
+)
+from repro.analysis.sweep import SweepPoint, run_grid, run_point
+from repro.api import CacheSpec, SystemSpec, parse_cache_spec
+from repro.data.scenarios import CorrelationSpec, ScenarioSpec
+from repro.model.config import tiny_config
+
+
+@pytest.fixture
+def cfg():
+    return tiny_config(
+        rows_per_table=20_000, batch_size=16, lookups_per_table=4,
+        num_tables=2,
+    )
+
+
+@pytest.fixture
+def setup(cfg):
+    return ExperimentSetup(config=cfg, num_batches=150, seed=1)
+
+
+HETERO = SystemSpec(
+    system="scratchpipe",
+    cache=parse_cache_spec("table0=0.2,rest=0.05"),
+)
+
+
+def hetero_grid(setup):
+    points = []
+    for rho in (0.0, 0.5):
+        scenario = ScenarioSpec(
+            correlation=CorrelationSpec(rho=rho) if rho else None
+        )
+        point_setup = ExperimentSetup(
+            config=setup.config, num_batches=setup.num_batches,
+            seed=setup.seed, scenario=scenario,
+        )
+        for metric in ("hit_rate", "per_table_hit_rates", "mean_latency"):
+            points.append(point_setup.point(
+                "scratchpipe", "high", 0.05, 2, metric=metric,
+                system_spec=HETERO,
+            ))
+    return points
+
+
+class TestSpecPoints:
+    def test_point_derives_system_from_spec(self, setup):
+        point = setup.point("ignored", "high", 0.0, 2, system_spec=HETERO)
+        assert point.system == "scratchpipe"
+        assert point.resolved_system_spec is HETERO
+
+    def test_mismatched_names_rejected(self, cfg, hardware):
+        with pytest.raises(ValueError, match="spec"):
+            SweepPoint(
+                system="strawman", locality="high", cache_fraction=0.05,
+                seed=1, num_batches=10, config=cfg, hardware=hardware,
+                system_spec=HETERO,
+            )
+
+    def test_specless_point_synthesizes_uniform_spec(self, setup):
+        point = setup.point("scratchpipe", "high", 0.05, 2,
+                            policy_name="lfu")
+        spec = point.resolved_system_spec
+        assert spec.cache == CacheSpec(fraction=0.05, policy="lfu")
+
+    def test_hybrid_synthesized_spec_is_cacheless(self, setup):
+        spec = setup.point("hybrid", "high", 0.0, 0).resolved_system_spec
+        assert spec.cache is None
+
+    def test_hetero_points_pickle_small(self, setup):
+        """The (SystemSpec, ScenarioSpec) pair keeps dispatch spec-sized."""
+        for point in hetero_grid(setup):
+            assert len(pickle.dumps(point)) < 4096
+
+    def test_per_table_metric_scratchpipe_only(self, setup):
+        with pytest.raises(ValueError, match="per_table_hit_rates"):
+            setup.point("hybrid", "high", 0.0, 0,
+                        metric="per_table_hit_rates")
+
+
+class TestHeterogeneousGridDispatch:
+    def test_parallel_matches_serial(self, setup):
+        points = hetero_grid(setup)
+        serial = run_grid(points, workers=1)
+        parallel = run_grid(points, workers=2)
+        assert serial == parallel
+
+    def test_grid_results_are_per_spec(self, setup):
+        """Heterogeneous and uniform specs at one grid point differ."""
+        hetero_point = setup.point(
+            "scratchpipe", "high", 0.0, 2, metric="per_table_hit_rates",
+            system_spec=HETERO,
+        )
+        uniform_point = setup.point(
+            "scratchpipe", "high", 0.0, 2, metric="per_table_hit_rates",
+            system_spec=SystemSpec(system="scratchpipe",
+                                   cache=CacheSpec(fraction=0.125)),
+        )
+        hetero_rates, uniform_rates = run_grid(
+            [hetero_point, uniform_point], workers=1
+        )
+        assert len(hetero_rates) == setup.config.num_tables
+        assert hetero_rates != uniform_rates
+
+    def test_run_point_per_table_metric(self, setup):
+        rates = run_point(setup.point(
+            "scratchpipe", "high", 0.0, 2, metric="per_table_hit_rates",
+            system_spec=HETERO,
+        ))
+        assert isinstance(rates, tuple)
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+
+class TestHeterogeneousCacheStudy:
+    def splits(self):
+        # Small enough that the 150-batch high-locality trace evicts.
+        return {
+            "uniform": CacheSpec(fraction=0.065),
+            "hetero": parse_cache_spec("table0=0.1,rest=0.03"),
+        }
+
+    def test_study_shape(self, setup):
+        out = heterogeneous_cache(
+            setup, rhos=(0.0, 0.5), cache_specs=self.splits(),
+            locality="high",
+        )
+        assert set(out) == {"uniform", "hetero"}
+        for cells in out.values():
+            assert set(cells) == {0.0, 0.5}
+            for cell in cells.values():
+                assert 0.0 <= cell["hit_rate"] <= 1.0
+                assert len(cell["per_table"]) == setup.config.num_tables
+
+    def test_study_parallel_matches_serial(self, setup):
+        kwargs = dict(rhos=(0.0, 0.5), cache_specs=self.splits(),
+                      locality="high")
+        assert (heterogeneous_cache(setup, workers=1, **kwargs)
+                == heterogeneous_cache(setup, workers=2, **kwargs))
+
+    def test_default_splits_are_budget_matched(self):
+        splits = default_heterogeneous_splits(num_tables=8)
+        assert len(splits) == 2
+        (uniform, hetero) = splits.values()
+        uniform_total = 8 * uniform.fraction
+        hetero_total = sum(
+            hetero.table_spec(t).fraction for t in range(8)
+        )
+        assert uniform_total == pytest.approx(hetero_total)

@@ -1,0 +1,245 @@
+"""Registry + factory tests: builtins, plugins, entry-point discovery."""
+
+import pytest
+
+from repro.api import (
+    CacheSpec,
+    InvalidSystemSpecError,
+    RegistryError,
+    SystemSpec,
+    build_system,
+    register_policy,
+    register_system,
+    registered_policies,
+    registered_systems,
+    system_entry,
+)
+from repro.api import registry as registry_module
+from repro.systems.base import SystemRunResult, TrainingSystem
+
+
+BUILTIN_SYSTEMS = {
+    "hybrid", "overlapped_hybrid", "multi_gpu", "multi_gpu_scratchpipe",
+    "scratchpipe", "static_cache", "strawman",
+}
+
+
+class TestBuiltins:
+    def test_all_builtin_systems_registered(self):
+        assert BUILTIN_SYSTEMS <= set(registered_systems())
+
+    def test_builtin_policies_registered(self):
+        assert {"lru", "lfu", "random"} <= set(registered_policies())
+
+    def test_entry_metadata(self):
+        entry = system_entry("scratchpipe")
+        assert entry.requires_cache
+        assert "ScratchPipe" in entry.description
+        assert not system_entry("hybrid").requires_cache
+
+    def test_unknown_system_lookup(self):
+        with pytest.raises(RegistryError, match="unknown system"):
+            system_entry("warp_drive")
+
+
+class TestFactoryValidation:
+    def test_unknown_system_is_named_error(self, tiny_cfg, hardware):
+        with pytest.raises(InvalidSystemSpecError, match="unknown system"):
+            build_system(SystemSpec(system="warp_drive"), tiny_cfg, hardware)
+
+    def test_missing_cache_is_named_error(self, tiny_cfg, hardware):
+        with pytest.raises(InvalidSystemSpecError, match="requires a cache"):
+            build_system(SystemSpec(system="scratchpipe"), tiny_cfg, hardware)
+
+    def test_spurious_cache_is_named_error(self, tiny_cfg, hardware):
+        spec = SystemSpec(system="hybrid", cache=CacheSpec(fraction=0.02))
+        with pytest.raises(InvalidSystemSpecError, match="takes no cache"):
+            build_system(spec, tiny_cfg, hardware)
+
+    def test_build_by_name(self, tiny_cfg, hardware):
+        system = build_system("hybrid", tiny_cfg, hardware)
+        assert system.name == "hybrid"
+        assert system.spec == SystemSpec(system="hybrid")
+
+    def test_build_by_json(self, tiny_cfg, hardware):
+        spec = SystemSpec(system="static_cache",
+                          cache=CacheSpec(fraction=0.1))
+        system = build_system(spec.to_json(), tiny_cfg, hardware)
+        assert system.name == "static_cache"
+        assert system.spec == spec
+
+    def test_num_gpus_rejected_for_single_gpu_systems(self, tiny_cfg,
+                                                      hardware):
+        spec = SystemSpec(system="scratchpipe",
+                          cache=CacheSpec(fraction=0.05), num_gpus=8)
+        with pytest.raises(InvalidSystemSpecError, match="single-GPU"):
+            build_system(spec, tiny_cfg, hardware)
+
+    def test_num_gpus_accepted_for_multi_gpu_systems(self, tiny_cfg,
+                                                     hardware):
+        system = build_system(
+            SystemSpec(system="multi_gpu", num_gpus=4), tiny_cfg, hardware
+        )
+        assert system.num_gpus == 4
+
+    def test_whitespace_docstring_registers_fine(self):
+        class Undocumented(TrainingSystem):
+            name = "test_undocumented_system"
+
+        Undocumented.__doc__ = "\n   "
+        try:
+            register_system("test_undocumented_system")(Undocumented)
+            assert system_entry("test_undocumented_system").description == ""
+        finally:
+            registry_module._SYSTEMS.pop("test_undocumented_system", None)
+
+    def test_built_system_carries_spec(self, tiny_cfg, hardware):
+        spec = SystemSpec(system="scratchpipe",
+                          cache=CacheSpec(fraction=0.1))
+        assert build_system(spec, tiny_cfg, hardware).spec is spec
+
+
+class TestPluginRegistration:
+    def test_register_and_build_custom_system(self, tiny_cfg, hardware,
+                                              id_only_dataset):
+        @register_system("test_constant_system",
+                         description="fixed-latency test double")
+        class ConstantSystem(TrainingSystem):
+            name = "test_constant_system"
+
+            def run_trace(self, dataset_batches, num_batches=None):
+                total = len(dataset_batches)
+                num_batches = total if num_batches is None else num_batches
+                result = SystemRunResult(system=self.name)
+                result.iteration_times = [1e-3] * num_batches
+                result.energies = [0.0] * num_batches
+                return result
+
+        try:
+            assert "test_constant_system" in registered_systems()
+            system = build_system("test_constant_system", tiny_cfg, hardware)
+            out = system.run_trace(id_only_dataset, 4)
+            assert out.iteration_times == [1e-3] * 4
+        finally:
+            registry_module._SYSTEMS.pop("test_constant_system", None)
+
+    def test_duplicate_system_name_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            @register_system("scratchpipe")
+            class Impostor(TrainingSystem):
+                name = "scratchpipe"
+
+    def test_duplicate_policy_name_rejected(self):
+        from repro.core.replacement import LruPolicy
+
+        class ImpostorPolicy(LruPolicy):
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("lru")(ImpostorPolicy)
+
+    def test_registered_policy_usable_in_cache_spec(self):
+        from repro.core import replacement
+        from repro.core.replacement import LruPolicy
+
+        class ClockishPolicy(LruPolicy):
+            pass
+
+        register_policy("test_clockish")(ClockishPolicy)
+        try:
+            spec = CacheSpec(fraction=0.02, policy="test_clockish")
+            assert spec.policy == "test_clockish"
+            policy = replacement.make_policy("test_clockish", 16)
+            assert isinstance(policy, ClockishPolicy)
+        finally:
+            replacement._POLICIES.pop("test_clockish", None)
+
+
+class TestEntryPointDiscovery:
+    def test_discovery_registers_loaded_class(self, monkeypatch):
+        class FakeEntryPoint:
+            name = "fake"
+
+            @staticmethod
+            def load():
+                class EntryPointSystem(TrainingSystem):
+                    name = "test_entry_point_system"
+
+                return EntryPointSystem
+
+        class FakeEntryPoints:
+            @staticmethod
+            def select(group):
+                if group == registry_module.SYSTEM_ENTRY_POINT_GROUP:
+                    return [FakeEntryPoint()]
+                return []
+
+        from importlib import metadata
+
+        monkeypatch.setattr(metadata, "entry_points",
+                            lambda: FakeEntryPoints())
+        monkeypatch.setattr(registry_module, "_discovered", False)
+        try:
+            assert "test_entry_point_system" in registered_systems()
+        finally:
+            registry_module._SYSTEMS.pop("test_entry_point_system", None)
+            registry_module._discovered = True
+
+    def test_entry_point_policy_valid_in_cache_spec(self, monkeypatch):
+        """A policy shipped only via the repro.policies entry-point group
+        must validate in CacheSpec before any registry query ran."""
+        from repro.core import replacement
+        from repro.core.replacement import LruPolicy
+
+        class PluginPolicy(LruPolicy):
+            name = "test_plugin_policy"
+
+        class FakeEntryPoint:
+            name = "test_plugin_policy"
+
+            @staticmethod
+            def load():
+                return PluginPolicy
+
+        class FakeEntryPoints:
+            @staticmethod
+            def select(group):
+                if group == registry_module.POLICY_ENTRY_POINT_GROUP:
+                    return [FakeEntryPoint()]
+                return []
+
+        from importlib import metadata
+
+        monkeypatch.setattr(metadata, "entry_points",
+                            lambda: FakeEntryPoints())
+        monkeypatch.setattr(registry_module, "_discovered", False)
+        try:
+            spec = CacheSpec(fraction=0.02, policy="test_plugin_policy")
+            assert spec.policy == "test_plugin_policy"
+        finally:
+            replacement._POLICIES.pop("test_plugin_policy", None)
+            registry_module._discovered = True
+
+    def test_broken_plugin_is_skipped(self, monkeypatch):
+        class BrokenEntryPoint:
+            name = "broken"
+
+            @staticmethod
+            def load():
+                raise ImportError("plugin import exploded")
+
+        class FakeEntryPoints:
+            @staticmethod
+            def select(group):
+                return [BrokenEntryPoint()]
+
+        from importlib import metadata
+
+        monkeypatch.setattr(metadata, "entry_points",
+                            lambda: FakeEntryPoints())
+        monkeypatch.setattr(registry_module, "_discovered", False)
+        try:
+            # Discovery must not raise, and builtins stay intact.
+            assert BUILTIN_SYSTEMS <= set(registered_systems())
+        finally:
+            registry_module._discovered = True

@@ -49,6 +49,12 @@ class TestFastExamples:
         assert "Scenario matrix" in out
         assert "hit rate falls" in out
 
+    def test_heterogeneous_caches(self, capsys):
+        run_example("heterogeneous_caches.py", ["--rhos", "0", "0.5"])
+        out = capsys.readouterr().out
+        assert "per-table hit rates" in out
+        assert "allocation knob works" in out
+
     def test_adagrad_training(self, capsys):
         run_example("adagrad_training.py")
         out = capsys.readouterr().out
@@ -72,6 +78,7 @@ class TestExampleFilesPresent:
         "pipeline_timeline.py",
         "adagrad_training.py",
         "workload_analysis.py",
+        "heterogeneous_caches.py",
     ])
     def test_exists_and_has_docstring(self, name):
         path = EXAMPLES / name

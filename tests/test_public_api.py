@@ -1,0 +1,96 @@
+"""API-surface snapshot: accidental breaks of repro.api fail tier-1.
+
+The snapshot pins (a) ``repro.api.__all__``, (b) the builtin registry
+contents, and (c) that every advertised name actually imports.  Growing
+the surface is a conscious act: update the snapshot in the same PR that
+changes the API.
+"""
+
+import repro
+import repro.api as api
+
+EXPECTED_API = {
+    # specs
+    "CacheSpec",
+    "InvalidSystemSpecError",
+    "PipelineSpec",
+    "ResolvedTableCache",
+    "ScratchpadSpec",
+    "SystemSpec",
+    "format_cache_spec",
+    "parse_cache_spec",
+    "uniform_system_spec",
+    # factory
+    "as_system_spec",
+    "build_system",
+    # registry
+    "POLICY_ENTRY_POINT_GROUP",
+    "SYSTEM_ENTRY_POINT_GROUP",
+    "RegistryError",
+    "SystemEntry",
+    "discover_plugins",
+    "register_policy",
+    "register_system",
+    "registered_policies",
+    "registered_systems",
+    "system_entries",
+    "system_entry",
+}
+
+EXPECTED_SYSTEMS = {
+    "hybrid",
+    "overlapped_hybrid",
+    "multi_gpu",
+    "multi_gpu_scratchpipe",
+    "scratchpipe",
+    "static_cache",
+    "strawman",
+}
+
+EXPECTED_POLICIES = {"lru", "lfu", "random"}
+
+
+def test_api_all_matches_snapshot():
+    assert set(api.__all__) == EXPECTED_API
+
+
+def test_every_advertised_name_importable():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_builtin_system_registry_snapshot():
+    # >= rather than ==: a test module may have registered a plugin in
+    # this process; the builtins must all be present under their names.
+    registered = set(api.registered_systems())
+    assert EXPECTED_SYSTEMS <= registered
+    for name in EXPECTED_SYSTEMS:
+        assert api.system_entry(name).cls.name == name
+
+
+def test_builtin_policy_registry_snapshot():
+    assert EXPECTED_POLICIES <= set(api.registered_policies())
+
+
+def test_cache_requirements_snapshot():
+    requires = {
+        entry.name: entry.requires_cache
+        for entry in api.system_entries()
+        if entry.name in EXPECTED_SYSTEMS
+    }
+    assert requires == {
+        "hybrid": False,
+        "overlapped_hybrid": False,
+        "multi_gpu": False,
+        "multi_gpu_scratchpipe": True,
+        "scratchpipe": True,
+        "static_cache": True,
+        "strawman": True,
+    }
+
+
+def test_top_level_reexports():
+    """The repro package itself advertises the spec-driven door."""
+    for name in ("SystemSpec", "CacheSpec", "build_system"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(api, name)
