@@ -44,12 +44,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Entries are keyed by label so re-runs update in place and each PR's
-#: perf pass appends one trajectory point.  PR 4 is the SystemSpec /
-#: registry API redesign — the timed system is now assembled through
-#: ``repro.api.build_system`` (spec resolution is construction-time
-#: only), so its entry proves the spec layer adds zero per-batch
-#: overhead vs the PR 3 entry.
-RUN_LABEL = "pr4-api-redesign"
+#: perf pass appends one trajectory point.  PR 5 is the real-trace
+#: ingestion PR — the pipeline itself is untouched (this entry confirms
+#: no regression); the new ingest-throughput numbers live in the
+#: ``pr5-tsv-ingest`` entry written by ``test_perf_tsv_ingest.py``.
+RUN_LABEL = "pr5-trace-ingestion"
 PREVIOUS_LABEL = "pr1-vectorised-hot-loops"
 
 #: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,

@@ -1,0 +1,92 @@
+"""Real-trace quickstart: fetch -> ingest -> replay through ScratchPipe.
+
+The paper's evaluation runs on real recommendation traces; this example
+walks the whole first-class path on the bundled Criteo-style sample:
+
+1. resolve + verify the named trace (``criteo-sample``: a deterministic
+   2k-line Criteo-layout TSV pinned by sha256);
+2. compile it to the binary memmap format (parse once, replay forever);
+3. check the compiled replay is bit-identical to parsing the TSV;
+4. run the ScratchPipe metadata pipeline over it and compare designs.
+
+Run:  python examples/real_trace_quickstart.py [--batches 12]
+"""
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import CacheSpec, SystemSpec
+from repro.analysis.experiments import ExperimentSetup
+from repro.data.fetch import resolve_trace
+from repro.data.io import CompiledTraceSource, compile_trace, sha256_file
+from repro.data.trace import MaterialisedDataset
+from repro.model.config import ModelConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=12)
+    args = parser.parse_args()
+
+    # 1. Resolve the named trace: the spec carries path, sha256 pin and
+    #    the geometry mapping (8 tables x 3 lookups over 26 Criteo
+    #    categorical columns, hashed into 50k rows/table).
+    spec = resolve_trace("criteo-sample")
+    spec.verify()
+    config = spec.configure(ModelConfig())
+    print(f"trace   : {Path(spec.path).name} (sha256 {spec.sha256[:12]}..., "
+          "verified)")
+    print(f"geometry: {config.num_tables} tables x {config.batch_size} "
+          f"batch x {config.lookups_per_table} lookups, "
+          f"{config.rows_per_table} rows/table")
+
+    # 2. Parse the TSV once and compile it.
+    with tempfile.TemporaryDirectory() as tmp:
+        source = spec.open(config)
+        start = time.perf_counter()
+        compiled_path = compile_trace(source, Path(tmp) / "sample.rtrc")
+        compile_seconds = time.perf_counter() - start
+        print(f"compiled: {compiled_path.stat().st_size} bytes in "
+              f"{compile_seconds * 1e3:.0f} ms "
+              f"(sha256 {sha256_file(compiled_path)[:12]}...)")
+
+        # 3. Round-trip property: compiled replay == TSV parse, batch for
+        #    batch, in any access order.
+        compiled = CompiledTraceSource(compiled_path, config=config)
+        source.reset()
+        reference = MaterialisedDataset(source)
+        for index in (0, len(compiled) - 1, 3, 0):
+            assert np.array_equal(
+                compiled.batch(index).sparse_ids,
+                reference.batch(index).sparse_ids,
+            )
+        print(f"replay  : bit-identical to the TSV parse "
+              f"({len(compiled)} batches, O(1) random access)")
+
+        # 4. Replay the real trace through the designs.  The 10% cache
+        #    clears the hazard-window floor at this geometry (~3.1%).
+        setup = ExperimentSetup(
+            config=config, num_batches=args.batches, trace_file=spec
+        )
+        trace = setup.trace("criteo-sample")
+        cache = CacheSpec(fraction=0.10)
+        print(f"\nreplaying {len(trace)} batches through the designs:")
+        for name in ("static_cache", "strawman", "scratchpipe"):
+            system = setup.build(SystemSpec(system=name, cache=cache))
+            latency = system.run_trace(trace).mean_latency(warmup=4)
+            print(f"  {name:13s} {latency * 1e3:8.2f} ms/iter")
+        aggregate = setup.build(
+            SystemSpec(system="scratchpipe", cache=cache)
+        ).aggregate_cache_stats(trace, warmup=4)
+        print(f"\nscratchpipe Plan-stage hit rate on the real trace: "
+              f"{aggregate.hit_rate:.1%}")
+        print("per-table hit rates:",
+              " ".join(f"{r:.1%}" for r in aggregate.per_table_hit_rates()))
+
+
+if __name__ == "__main__":
+    main()

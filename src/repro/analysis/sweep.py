@@ -53,7 +53,7 @@ import numpy as np
 
 from repro.api.factory import build_system
 from repro.api.specs import SystemSpec, uniform_system_spec
-from repro.data.io import materialise_cached
+from repro.data.io import TraceFileSpec, materialise_cached
 from repro.data.scenarios import ScenarioSpec, build_scenario
 from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.hardware.spec import HardwareSpec
@@ -86,7 +86,13 @@ TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 TRACE_GEN_LOG_ENV = "REPRO_TRACE_GEN_LOG"
 
 #: Trace key: everything a worker needs to regenerate a trace from scratch.
-TraceKey = Tuple[ModelConfig, str, int, int, Optional[ScenarioSpec]]
+#: The final component addresses a real-trace file; workers re-open the
+#: (path-addressed, sha-pinned) file when shared memory has not published
+#: its content already.
+TraceKey = Tuple[
+    ModelConfig, str, int, int, Optional[ScenarioSpec],
+    Optional[TraceFileSpec],
+]
 
 #: Worker-global registry of shared-memory traces: key -> (name, shape).
 _SHM_MANIFEST: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
@@ -122,6 +128,11 @@ class SweepPoint:
             equal ``system_spec.system``.  When absent, a uniform spec is
             synthesized from ``(system, cache_fraction, policy_name)``,
             bit-identical to the legacy construction.
+        trace_file: Optional :class:`~repro.data.io.TraceFileSpec`
+            replaying a real trace file instead of a synthetic one.  The
+            spec (not the trace) crosses the process boundary; ``locality``
+            becomes a label.  Mutually exclusive with a non-stationary
+            ``scenario``.
     """
 
     system: str
@@ -136,8 +147,18 @@ class SweepPoint:
     policy_name: str = "lru"
     scenario: Optional[ScenarioSpec] = None
     system_spec: Optional[SystemSpec] = None
+    trace_file: Optional[TraceFileSpec] = None
 
     def __post_init__(self) -> None:
+        if (
+            self.trace_file is not None
+            and self.scenario is not None
+            and not self.scenario.is_stationary
+        ):
+            raise ValueError(
+                "a file-backed sweep point replays recorded batches; "
+                "scenario processes cannot be applied on top"
+            )
         if self.system_spec is not None:
             if self.system != self.system_spec.system:
                 raise ValueError(
@@ -189,8 +210,14 @@ class SweepPoint:
                 effective = None
             else:
                 effective = effective.with_locality(self.locality)
+        # File-backed content depends only on (file spec, config,
+        # length): normalise the synthetic-only axes so seed replicates
+        # and locality labels share one materialisation + shm segment.
+        if self.trace_file is not None:
+            return (self.config, "trace", 0, self.num_batches,
+                    effective, self.trace_file)
         return (self.config, self.locality, self.seed, self.num_batches,
-                effective)
+                effective, self.trace_file)
 
 
 def _log_trace_generation(key: TraceKey) -> None:
@@ -204,8 +231,10 @@ def _log_trace_generation(key: TraceKey) -> None:
 
 def _generate_trace(key: TraceKey) -> MaterialisedDataset:
     """Materialise one trace from its key (generation, not lookup)."""
-    config, locality, seed, num_batches, scenario = key
+    config, locality, seed, num_batches, scenario, trace_file = key
     _log_trace_generation(key)
+    if trace_file is not None:
+        return trace_file.materialise(config, num_batches)
     if scenario is not None and not scenario.is_stationary:
         source = build_scenario(
             config, scenario, seed=seed, num_batches=num_batches
@@ -262,9 +291,11 @@ def _cached_trace(key: TraceKey) -> MaterialisedDataset:
     shared = _attach_shared_trace(key)
     if shared is not None:
         return shared
-    config, locality, seed, num_batches, scenario = key
+    config, locality, seed, num_batches, scenario, trace_file = key
     cache_dir = os.environ.get(TRACE_CACHE_ENV)
-    if cache_dir and (scenario is None or scenario.is_stationary):
+    if cache_dir and trace_file is None and (
+        scenario is None or scenario.is_stationary
+    ):
         return materialise_cached(config, locality, seed, num_batches, cache_dir)
     return _generate_trace(key)
 
@@ -326,8 +357,8 @@ def _worker_init(
 
 def _disk_cacheable(key: TraceKey) -> bool:
     """Whether :func:`materialise_cached` can serve this trace key."""
-    scenario = key[4]
-    return scenario is None or scenario.is_stationary
+    scenario, trace_file = key[4], key[5]
+    return trace_file is None and (scenario is None or scenario.is_stationary)
 
 
 def _publish_shared_traces(

@@ -68,4 +68,17 @@ def build_system(
             f"num_gpus={spec.num_gpus} — the field would be silently "
             "ignored; pick a multi-GPU design or drop it"
         )
+    if spec.cache is not None:
+        # Hazard-window floor: a dynamic cache sized below the design's
+        # hold-mask window can exhaust hazard-free victims mid-run.  With
+        # the geometry now in hand, reject undersized uniform or per-table
+        # splits here — a named spec error at construction instead of a
+        # CachePressureError deep inside a run.
+        floor = entry.cls.min_cache_slots(spec, config)
+        spec.cache.resolve(
+            config.num_tables,
+            config.rows_per_table,
+            min_slots=floor,
+            floor_what=f"{spec.system} hazard-window floor",
+        )
     return entry.cls.from_spec(spec, config, hardware)

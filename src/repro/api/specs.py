@@ -188,13 +188,22 @@ class CacheSpec:
         return max(1, int(self.fraction * rows_per_table))
 
     def resolve(
-        self, num_tables: int, rows_per_table: int
+        self,
+        num_tables: int,
+        rows_per_table: int,
+        *,
+        min_slots: Optional[int] = None,
+        floor_what: str = "hazard-window floor",
     ) -> Tuple[ResolvedTableCache, ...]:
         """Per-table ``(slots, policy)`` against a concrete geometry.
 
         Raises :class:`InvalidSystemSpecError` when an override names a
         table outside ``[0, num_tables)`` — the first moment the table
-        count is known.
+        count is known — or, with ``min_slots``, when any table's resolved
+        capacity falls below that floor (``build_system`` passes the
+        system's hazard-window floor here, so undersized splits fail with
+        a named spec error at construction instead of a mid-run
+        ``CachePressureError``).
         """
         for index, _ in self.tables:
             if index >= num_tables:
@@ -205,10 +214,25 @@ class CacheSpec:
         resolved = []
         for table in range(num_tables):
             spec = self.table_spec(table)
+            slots = spec.num_slots(rows_per_table)
+            if min_slots is not None and slots < min_slots:
+                sizing = (
+                    f"fraction {spec.fraction!r}"
+                    if spec.fraction is not None
+                    else "absolute slots"
+                )
+                raise InvalidSystemSpecError(
+                    f"cache for table {table} resolves to {slots} slots "
+                    f"({sizing} of {rows_per_table} rows), below the "
+                    f"{floor_what} of {min_slots} slots at this geometry — "
+                    "it could exhaust hazard-free victims mid-run; grow the "
+                    f"table's cache to at least {min_slots} slots "
+                    f"({min_slots / rows_per_table:.4g} of the table)"
+                )
             resolved.append(
                 ResolvedTableCache(
                     table=table,
-                    slots=spec.num_slots(rows_per_table),
+                    slots=slots,
                     policy=spec.policy,
                     fraction=spec.fraction,
                 )

@@ -16,6 +16,9 @@ Usage::
     python -m repro.cli systems
     python -m repro.cli --cache-spec table0=0.04,rest=0.02 compare
     python -m repro.cli hetero --rhos 0 0.5 --splits 0.02 table0=0.04,rest=0.02
+    python -m repro.cli trace criteo-sample
+    python -m repro.cli ingest criteo-sample --out sample.rtrc
+    python -m repro.cli --trace sample.rtrc fig13 --fractions 0.05
 
 Every subcommand prints the same rows/series the corresponding paper table
 or figure reports, using the calibrated analytic timing model.  The global
@@ -25,6 +28,11 @@ keeps the stationary legacy traces bit-identical.  Systems are always
 constructed through ``repro.api.build_system``: ``--system`` picks any
 registered design (or a full JSON ``SystemSpec``) and ``--cache-spec``
 describes uniform or per-table heterogeneous caches.
+
+Real traces: ``--trace <name-or-path>`` replays a trace file (a named
+trace such as ``criteo-sample``, a Criteo-style TSV, or a compiled
+``.rtrc`` produced by the ``ingest`` subcommand) through any
+trace-consuming figure; ``trace`` inspects and verifies a file.
 """
 
 from __future__ import annotations
@@ -64,6 +72,14 @@ from repro.api import (
     system_entry,
 )
 from repro.data.datasets import LOCALITY_CLASSES
+from repro.data.io import (
+    InvalidTraceFileSpecError,
+    TraceVerificationError,
+    compile_trace,
+    sha256_file,
+)
+from repro.data.fetch import KNOWN_TRACES, resolve_trace
+from repro.model.config import ModelConfig
 from repro.data.scenarios import (
     SCENARIO_PRESETS,
     DriftSpec,
@@ -91,8 +107,46 @@ def _scenario(args: argparse.Namespace) -> "ScenarioSpec | None":
     return spec
 
 
+def _trace_file(args: argparse.Namespace):
+    """Resolve the global ``--trace`` flag (None when absent)."""
+    text = getattr(args, "trace", None)
+    if not text:
+        return None
+    if getattr(args, "scenario", None) or (
+        getattr(args, "drift_rate", None) is not None
+    ):
+        raise SystemExit(
+            "--trace replays a recorded trace; the synthetic "
+            "--scenario/--drift-rate processes cannot be applied on top"
+        )
+    try:
+        return resolve_trace(text)
+    except (InvalidTraceFileSpecError, FileNotFoundError) as error:
+        raise SystemExit(f"invalid --trace: {error}") from None
+
+
+#: Locality label used for points replaying a real trace file.
+TRACE_LOCALITY = "trace"
+
+
 def _setup(args: argparse.Namespace) -> ExperimentSetup:
-    return ExperimentSetup(num_batches=args.batches, scenario=_scenario(args))
+    trace_file = _trace_file(args)
+    if trace_file is None:
+        return ExperimentSetup(
+            num_batches=args.batches, scenario=_scenario(args)
+        )
+    try:
+        config = trace_file.configure(ModelConfig())
+    except (InvalidTraceFileSpecError, ValueError) as error:
+        raise SystemExit(f"invalid --trace geometry: {error}") from None
+    return ExperimentSetup(
+        config=config, num_batches=args.batches, trace_file=trace_file
+    )
+
+
+def _localities(args: argparse.Namespace, default=LOCALITY_CLASSES):
+    """Locality axis: the four classes, or one label for a file trace."""
+    return (TRACE_LOCALITY,) if getattr(args, "trace", None) else tuple(default)
 
 
 def _reject_scenario_flags(args: argparse.Namespace, what: str) -> None:
@@ -166,7 +220,7 @@ def cmd_fig12b(args: argparse.Namespace) -> None:
     """Figure 12(b): ScratchPipe per-stage latency."""
     out = fig12b_scratchpipe_latency(
         _setup(args), cache_fractions=tuple(args.fractions),
-        workers=args.workers,
+        workers=args.workers, localities=_localities(args),
     )
     print(banner("Figure 12(b): ScratchPipe per-stage latency"))
     for locality, sizes in out.items():
@@ -178,7 +232,7 @@ def cmd_fig13(args: argparse.Namespace) -> None:
     """Figure 13: end-to-end speedups."""
     points = fig13_speedup(
         _setup(args), cache_fractions=tuple(args.fractions),
-        workers=args.workers,
+        workers=args.workers, localities=_localities(args),
     )
     _print_speedup_points(
         "Figure 13: speedup normalised to static cache", points,
@@ -224,7 +278,8 @@ def cmd_fig15b(args: argparse.Namespace) -> None:
 def cmd_policies(args: argparse.Namespace) -> None:
     """Section VI-E: replacement-policy sensitivity."""
     out = replacement_policy_sensitivity(
-        _setup(args), cache_fraction=args.cache, workers=args.workers
+        _setup(args), cache_fraction=args.cache, workers=args.workers,
+        localities=_localities(args),
     )
     print(banner("Section VI-E: replacement-policy sensitivity (ms/iter)"))
     policies = sorted(next(iter(out.values())))
@@ -239,7 +294,10 @@ def cmd_policies(args: argparse.Namespace) -> None:
 
 def cmd_fig14(args: argparse.Namespace) -> None:
     """Figure 14: energy of static cache vs ScratchPipe."""
-    out = fig14_energy(_setup(args), cache_fraction=args.cache)
+    out = fig14_energy(
+        _setup(args), cache_fraction=args.cache,
+        localities=_localities(args),
+    )
     print(banner("Figure 14: energy per iteration (J)"))
     rows = [
         [loc, f"{e['static_cache']:.1f}", f"{e['scratchpipe']:.1f}"]
@@ -250,7 +308,10 @@ def cmd_fig14(args: argparse.Namespace) -> None:
 
 def cmd_table1(args: argparse.Namespace) -> None:
     """Table I: AWS training cost comparison."""
-    rows = table1_cost(_setup(args), cache_fraction=args.cache)
+    rows = table1_cost(
+        _setup(args), cache_fraction=args.cache,
+        localities=_localities(args),
+    )
     print(banner("Table I: training cost over 1M iterations"))
     cells = []
     for sp, mg in rows:
@@ -283,7 +344,7 @@ def cmd_compare(args: argparse.Namespace) -> None:
     cached design (including heterogeneous per-table splits); ``--system``
     appends an extra spec-built row to the comparison.
     """
-    if args.locality not in LOCALITY_CLASSES:
+    if args.locality not in LOCALITY_CLASSES and not args.trace:
         raise SystemExit(
             f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
         )
@@ -465,7 +526,7 @@ def cmd_timeline(args: argparse.Namespace) -> None:
     from repro.core.timeline import PipelineTimeline, render_ascii
     from repro.systems.stages import cache_stage_times
 
-    if args.locality not in LOCALITY_CLASSES:
+    if args.locality not in LOCALITY_CLASSES and not args.trace:
         raise SystemExit(
             f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
         )
@@ -500,6 +561,110 @@ def cmd_timeline(args: argparse.Namespace) -> None:
     ))
 
 
+def _resolve_trace_arg(args: argparse.Namespace):
+    try:
+        return resolve_trace(
+            args.source, max_batches=getattr(args, "max_batches", None)
+        )
+    except (InvalidTraceFileSpecError, FileNotFoundError) as error:
+        raise SystemExit(f"invalid trace: {error}") from None
+
+
+def _spec_with_geometry(args: argparse.Namespace, spec):
+    """Apply the ingest geometry flags onto a resolved TraceFileSpec."""
+    overrides = {
+        "batch_size": args.batch_size,
+        "num_tables": args.tables,
+        "lookups_per_table": args.lookups,
+        "rows_per_table": args.rows,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if not overrides:
+        return spec
+    try:
+        return dataclasses.replace(spec, **overrides)
+    except InvalidTraceFileSpecError as error:
+        raise SystemExit(f"invalid geometry: {error}") from None
+
+
+def cmd_ingest(args: argparse.Namespace) -> None:
+    """Compile a trace file into the binary memmap format."""
+    _reject_scenario_flags(args, "ingest (format compilation)")
+    spec = _spec_with_geometry(args, _resolve_trace_arg(args))
+    try:
+        config = spec.configure(ModelConfig())
+        source = spec.open(config)
+    except (InvalidTraceFileSpecError, TraceVerificationError,
+            ValueError) as error:
+        raise SystemExit(f"cannot open trace: {error}") from None
+    out = args.out
+    if out is None:
+        stem = args.source.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        out = f"{stem}.rtrc"
+    path = compile_trace(source, out)
+    digest = sha256_file(path)
+    print(banner(f"compiled {args.source} -> {path}"))
+    print(format_table(
+        ["field", "value"],
+        [
+            ["batches", str(len(source))],
+            ["geometry",
+             f"{config.num_tables} tables x {config.batch_size} batch x "
+             f"{config.lookups_per_table} lookups"],
+            ["rows_per_table", str(config.rows_per_table)],
+            ["bytes", str(path.stat().st_size)],
+            ["sha256", digest],
+        ],
+    ))
+    print("\nreplay it with:  python -m repro.cli --trace "
+          f"{path} fig13 --fractions 0.05")
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Inspect (and verify) a trace file or list the known traces."""
+    _reject_scenario_flags(args, "trace (file inspection)")
+    if args.source is None:
+        print(banner("Known traces (repro.data.fetch.KNOWN_TRACES)"))
+        print(format_table(
+            ["name", "format", "pinned", "description"],
+            [
+                [entry.name, entry.spec.format,
+                 "yes" if entry.spec.sha256 else "-",
+                 entry.description]
+                for entry in KNOWN_TRACES.values()
+            ],
+        ))
+        return
+    spec = _resolve_trace_arg(args)
+    try:
+        spec.verify()
+        verified = "verified" if spec.sha256 else "unpinned"
+    except TraceVerificationError as error:
+        raise SystemExit(f"verification failed: {error}") from None
+    try:
+        config = spec.configure(ModelConfig())
+        source = spec.open(config)
+    except (InvalidTraceFileSpecError, ValueError) as error:
+        raise SystemExit(f"cannot open trace: {error}") from None
+    print(banner(f"trace {args.source}"))
+    # An unpinned multi-GB file is not re-hashed just for display; pin it
+    # (or run `ingest`, which prints the digest) to see a sha256 here.
+    print(format_table(
+        ["field", "value"],
+        [
+            ["path", spec.path],
+            ["format", spec.resolved_format()],
+            ["sha256", spec.sha256 or "(unpinned)"],
+            ["verification", verified],
+            ["batches", str(len(source))],
+            ["geometry",
+             f"{config.num_tables} tables x {config.batch_size} batch x "
+             f"{config.lookups_per_table} lookups"],
+            ["rows_per_table", str(config.rows_per_table)],
+        ],
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -522,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="registered system name or JSON SystemSpec "
                              "(compare/timeline; see the systems "
                              "subcommand for names)")
+    parser.add_argument("--trace", default=None,
+                        help="replay a real trace file through the "
+                             "experiment: a known name (see the trace "
+                             "subcommand), a Criteo-style TSV, or a "
+                             "compiled trace from `ingest`")
     parser.add_argument("--cache-spec", default=None,
                         help="cache spec shorthand, e.g. "
                              "'table0=0.04,rest=0.02' — per-table "
@@ -536,11 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig12b", help="ScratchPipe stage latency")
     p.add_argument("--fractions", type=float, nargs="+", default=[0.02])
-    p.set_defaults(func=cmd_fig12b)
+    p.set_defaults(func=cmd_fig12b, supports_trace=True)
 
     p = sub.add_parser("fig13", help="end-to-end speedups")
     p.add_argument("--fractions", type=float, nargs="+", default=[0.02])
-    p.set_defaults(func=cmd_fig13)
+    p.set_defaults(func=cmd_fig13, supports_trace=True)
 
     p = sub.add_parser("fig15a", help="embedding-dimension sensitivity")
     p.add_argument("--dims", type=int, nargs="+", default=[64, 128, 256])
@@ -549,20 +719,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig15b", help="lookups-per-table sensitivity")
     p.add_argument("--lookups", type=int, nargs="+", default=[1, 20, 50])
-    p.add_argument("--cache", type=float, default=0.02)
+    # 10%: the 50-lookup point's hazard floor (~4.1%) exceeds the 2%
+    # fraction the fixed-geometry figures default to.
+    p.add_argument("--cache", type=float, default=0.10)
     p.set_defaults(func=cmd_fig15b)
 
     p = sub.add_parser("policies", help="replacement-policy sensitivity")
     p.add_argument("--cache", type=float, default=0.02)
-    p.set_defaults(func=cmd_policies)
+    p.set_defaults(func=cmd_policies, supports_trace=True)
 
     p = sub.add_parser("fig14", help="energy comparison")
     p.add_argument("--cache", type=float, default=0.02)
-    p.set_defaults(func=cmd_fig14)
+    p.set_defaults(func=cmd_fig14, supports_trace=True)
 
     p = sub.add_parser("table1", help="AWS cost comparison")
     p.add_argument("--cache", type=float, default=0.02)
-    p.set_defaults(func=cmd_table1)
+    p.set_defaults(func=cmd_table1, supports_trace=True)
 
     p = sub.add_parser("overhead", help="scratchpad memory overhead")
     p.set_defaults(func=cmd_overhead)
@@ -571,7 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--locality", default="medium")
     p.add_argument("--cache", type=float, default=0.02)
     p.set_defaults(func=cmd_compare, supports_system=True,
-                   supports_cache_spec=True)
+                   supports_cache_spec=True, supports_trace=True)
 
     p = sub.add_parser("driftsweep", help="hit rate vs hot-set drift rate")
     p.add_argument("--rates", type=float, nargs="+",
@@ -607,7 +779,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--locality", default="random")
     p.add_argument("--cache", type=float, default=0.02)
     p.set_defaults(func=cmd_timeline, supports_system=True,
-                   supports_cache_spec=True)
+                   supports_cache_spec=True, supports_trace=True)
+
+    p = sub.add_parser("ingest",
+                       help="compile a TSV/named trace into the binary "
+                            "memmap format")
+    p.add_argument("source",
+                   help="known trace name (e.g. criteo-sample) or file path")
+    p.add_argument("--out", default=None,
+                   help="destination (default: <source stem>.rtrc)")
+    p.add_argument("--batch-size", type=int, default=None)
+    p.add_argument("--tables", type=int, default=None)
+    p.add_argument("--lookups", type=int, default=None)
+    p.add_argument("--rows", type=int, default=None,
+                   help="hash-bucket rows per table")
+    p.add_argument("--max-batches", type=int, default=None)
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("trace",
+                       help="inspect/verify a trace file (no argument: "
+                            "list known traces)")
+    p.add_argument("source", nargs="?", default=None,
+                   help="known trace name or file path")
+    p.add_argument("--max-batches", type=int, default=None)
+    p.set_defaults(func=cmd_trace)
 
     return parser
 
@@ -624,6 +819,11 @@ def main(argv: Optional[List[str]] = None) -> None:
         raise SystemExit(
             f"{args.command} sweeps its own cache sizes; "
             "--cache-spec does not apply to it"
+        )
+    if args.trace and not getattr(args, "supports_trace", False):
+        raise SystemExit(
+            f"{args.command} does not replay a single trace; "
+            "--trace does not apply to it"
         )
     args.func(args)
 

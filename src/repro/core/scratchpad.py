@@ -379,6 +379,27 @@ def required_slots(config: ModelConfig, window_batches: int = 6) -> int:
     return min(per_batch * window_batches, config.rows_per_table)
 
 
+def hazard_floor_slots(config: ModelConfig, past_window: int = 3) -> int:
+    """Hard per-table cache floor of the hold-mask hazard window.
+
+    At [Plan] time the hold mask keeps the slots of the ``past_window``
+    in-flight batches ineligible while the current batch claims victims
+    for its misses — so a cache smaller than ``past_window + 1`` batches
+    of worst-case unique IDs can deadlock with ``CachePressureError`` on
+    any trace whose consecutive batches do not overlap.  ``build_system``
+    rejects such specs up front with a named error (the ROADMAP's
+    "hazard-window floor"; ≈1.6 % of the table at the paper's default
+    geometry, which is why 2 % is the smallest fraction the figures
+    sweep).  Sizes between this floor and the full 6-batch
+    :func:`required_slots` bound are workload-dependent: they run out of
+    eligible victims only if the trace's future-window protection also
+    fills the cache.
+    """
+    if past_window < 0:
+        raise ValueError(f"past_window must be >= 0, got {past_window}")
+    return required_slots(config, window_batches=past_window + 1)
+
+
 def worst_case_storage_bytes(config: ModelConfig, window_batches: int = 6) -> int:
     """Worst-case Storage bytes across all tables (the paper's 960 MB)."""
     per_table = config.lookups_per_table * config.batch_size * window_batches

@@ -41,9 +41,8 @@ every existing figure reproducible under ``scenario=None`` semantics.
 from __future__ import annotations
 
 import math
-import zlib
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -294,51 +293,15 @@ def scenario_by_name(name: str) -> ScenarioSpec:
 
 # ----------------------------------------------------------------------
 # Deterministic integer mixing — the O(1)-random-access workhorse
+# (shared with the TSV ingestion path; see repro.data.trace.mix64)
 # ----------------------------------------------------------------------
-_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+from repro.data.trace import mix64 as _mix64  # noqa: E402
 
 #: Integer salts namespacing the per-purpose seed sequences.  Batch content
 #: uses the length-2 tuple ``(seed, index)`` (the legacy SyntheticDataset
 #: key); process state uses length-3 tuples so the streams never collide.
 _SALT_RESHUFFLE = 0x5E5F
 _SALT_BURST = 0xB1257
-
-
-_U64 = 0xFFFFFFFFFFFFFFFF
-
-
-def _mix64_scalar(value: int, *salts: int) -> int:
-    """Scalar twin of :func:`_mix64` for per-token hashing.
-
-    Pure-int arithmetic: the TSV parser calls this once per categorical
-    token, where a 1-element numpy round-trip would dominate ingest time.
-    """
-    x = value & _U64
-    for salt in salts:
-        x ^= salt & _U64
-        x = (x + 0x9E3779B97F4A7C15) & _U64
-        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _U64
-        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _U64
-        x ^= x >> 31
-    return x
-
-
-def _mix64(values: np.ndarray, *salts: int) -> np.ndarray:
-    """SplitMix64-style avalanche over int64 values, vectorised.
-
-    Gives every (value, salts) combination an independent pseudo-random
-    64-bit output without constructing a ``Generator`` per element — the
-    churn process calls this once per sampled lookup array.
-    """
-    x = values.astype(np.uint64, copy=True)
-    for salt in salts:
-        x ^= np.uint64(salt & 0xFFFFFFFFFFFFFFFF)
-        x = (x + np.uint64(0x9E3779B97F4A7C15))
-        x = (x ^ (x >> np.uint64(30))) * _MIX_MULT_1
-        x = (x ^ (x >> np.uint64(27))) * _MIX_MULT_2
-        x ^= x >> np.uint64(31)
-    return x
 
 
 class ScenarioDataset(TraceSource):
@@ -563,179 +526,7 @@ def build_scenario(
 
 
 # ----------------------------------------------------------------------
-# Criteo-style TSV ingestion
+# Criteo-style TSV ingestion moved to repro.data.tsv (vectorised engine);
+# re-exported here for backwards compatibility.
 # ----------------------------------------------------------------------
-class TsvTraceSource(TraceSource):
-    """Stream mini-batches from a Criteo-style TSV file.
-
-    Each line is one sample: ``label <TAB> dense... <TAB> categorical...``
-    (the Kaggle/Terabyte Criteo layout).  Categorical tokens are hashed into
-    ``rows_per_table`` buckets, and consecutive groups of ``lookups_per_table``
-    categorical columns feed consecutive tables, so a file with at least
-    ``num_tables * lookups_per_table`` categorical columns drives any model
-    geometry.
-
-    Streaming-first: ``iter_chunks``/``__iter__`` read the file forward and
-    never hold more than one chunk; random access (``batch(i)``) is
-    supported for the pipeline's bounded lookahead by reading forward from
-    the current cursor (and rewinding via :meth:`reset` when asked to seek
-    backwards), so access patterns that move mostly forward — exactly what
-    the 6-stage pipeline issues — stay O(file size) overall.
-    """
-
-    def __init__(
-        self,
-        path,
-        config: ModelConfig,
-        num_dense_columns: int = 13,
-        with_dense: bool = False,
-        max_batches: Optional[int] = None,
-    ) -> None:
-        self.config = config
-        self.path = str(path)
-        self.num_dense_columns = num_dense_columns
-        self.with_dense = with_dense
-        self._columns_needed = config.num_tables * config.lookups_per_table
-        # One cheap counting pass: tab-splitting every line here would
-        # double the full-file parse cost for a streaming-first source, so
-        # only the first sample's width is validated up front — later
-        # malformed lines fail with context when the stream reaches them.
-        samples = 0
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if not line.strip():
-                    continue
-                if samples == 0:
-                    self._validate_line(line)
-                samples += 1
-        self._num_batches = samples // config.batch_size
-        if max_batches is not None:
-            self._num_batches = min(self._num_batches, max_batches)
-        if self._num_batches < 1:
-            raise ValueError(
-                f"TSV file holds {samples} samples — fewer than one "
-                f"batch of {config.batch_size}"
-            )
-        self._window: Dict[int, MiniBatch] = {}
-        self._next_to_parse = 0
-        self._fh = None
-
-    def __len__(self) -> int:
-        return self._num_batches
-
-    def reset(self) -> None:
-        """Rewind to the start of the file and drop the parse window."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-        self._window.clear()
-        self._next_to_parse = 0
-
-    def close(self) -> None:
-        """Release the underlying file handle (reusable after: any later
-        access reopens from the start)."""
-        self.reset()
-
-    def __del__(self) -> None:  # pragma: no cover - GC timing
-        try:
-            self.close()
-        except Exception:
-            pass
-
-    def _validate_line(self, line: str) -> None:
-        fields = line.rstrip("\n").split("\t")
-        needed = 1 + self.num_dense_columns + self._columns_needed
-        if len(fields) < needed:
-            raise ValueError(
-                f"TSV line has {len(fields)} fields; need >= {needed} "
-                f"(1 label + {self.num_dense_columns} dense + "
-                f"{self._columns_needed} categorical)"
-            )
-
-    def _hash_token(self, token: str, table: int) -> int:
-        # zlib.crc32 is stable across processes and Python versions —
-        # builtin hash() is salted per interpreter and would break the
-        # determinism contract for file-backed traces.
-        raw = zlib.crc32(f"{table}\x1f{token}".encode("utf-8"))
-        return _mix64_scalar(raw, 0x75) % self.config.rows_per_table
-
-    def _parse_next_batch(self) -> MiniBatch:
-        cfg = self.config
-        if self._fh is None:
-            self._fh = open(self.path, "r", encoding="utf-8")
-        ids = np.empty(
-            (cfg.num_tables, cfg.batch_size, cfg.lookups_per_table),
-            dtype=np.int64,
-        )
-        dense = (
-            np.zeros((cfg.batch_size, cfg.num_dense_features), dtype=np.float32)
-            if self.with_dense
-            else None
-        )
-        labels = (
-            np.zeros(cfg.batch_size, dtype=np.float32) if self.with_dense else None
-        )
-        sample = 0
-        while sample < cfg.batch_size:
-            line = self._fh.readline()
-            if not line:
-                raise EOFError(
-                    f"TSV exhausted at batch {self._next_to_parse}"
-                )
-            if not line.strip():
-                continue
-            fields = line.rstrip("\n").split("\t")
-            cats = fields[1 + self.num_dense_columns :]
-            if len(cats) < self._columns_needed:
-                raise ValueError(
-                    f"TSV sample {self._next_to_parse * cfg.batch_size + sample}"
-                    f" has {len(cats)} categorical fields; need >= "
-                    f"{self._columns_needed}"
-                )
-            for column in range(self._columns_needed):
-                table, lookup = divmod(column, cfg.lookups_per_table)
-                ids[table, sample, lookup] = self._hash_token(
-                    cats[column], table
-                )
-            if self.with_dense:
-                raw = fields[1 : 1 + self.num_dense_columns]
-                for j in range(min(cfg.num_dense_features, len(raw))):
-                    dense[sample, j] = float(raw[j]) if raw[j] else 0.0
-                labels[sample] = float(fields[0])
-            sample += 1
-        batch = MiniBatch(
-            index=self._next_to_parse, sparse_ids=ids, dense=dense, labels=labels
-        )
-        self._next_to_parse += 1
-        return batch
-
-    def batch(self, index: int) -> MiniBatch:
-        if not 0 <= index < self._num_batches:
-            raise IndexError(
-                f"batch index {index} out of range [0, {self._num_batches})"
-            )
-        if index in self._window:
-            return self._window[index]
-        if index < self._next_to_parse:
-            # Seeking backwards past the window: rewind and re-read.
-            self.reset()
-        while self._next_to_parse <= index:
-            batch = self._parse_next_batch()
-            self._window[batch.index] = batch
-            # Bound the window to the pipeline's lookahead neighbourhood.
-            for stale in [k for k in self._window if k < batch.index - 16]:
-                del self._window[stale]
-        return self._window[index]
-
-    def iter_chunks(self, chunk_batches: int = 256) -> Iterator[List[MiniBatch]]:
-        if chunk_batches < 1:
-            raise ValueError(f"chunk_batches must be >= 1, got {chunk_batches}")
-        self.reset()
-        chunk: List[MiniBatch] = []
-        for index in range(self._num_batches):
-            chunk.append(self.batch(index))
-            if len(chunk) == chunk_batches:
-                yield chunk
-                chunk = []
-        if chunk:
-            yield chunk
+from repro.data.tsv import TsvTraceSource  # noqa: E402,F401

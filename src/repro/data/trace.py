@@ -33,6 +33,52 @@ from repro.model.config import ModelConfig
 DEFAULT_CHUNK_BATCHES = 256
 
 
+# ----------------------------------------------------------------------
+# Deterministic integer mixing — the O(1)-random-access workhorse shared
+# by the scenario engine (churn re-homing) and the TSV token hasher.
+# Process-stable by construction (pure integer arithmetic, no interpreter
+# hash salting), which is what keeps file-backed traces deterministic.
+# ----------------------------------------------------------------------
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64_scalar(value: int, *salts: int) -> int:
+    """Scalar twin of :func:`mix64` for per-token hashing.
+
+    Pure-int arithmetic: the reference TSV parser calls this once per
+    categorical token, where a 1-element numpy round-trip would dominate
+    ingest time.
+    """
+    x = value & _U64
+    for salt in salts:
+        x ^= salt & _U64
+        x = (x + 0x9E3779B97F4A7C15) & _U64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _U64
+        x ^= x >> 31
+    return x
+
+
+def mix64(values: np.ndarray, *salts: int) -> np.ndarray:
+    """SplitMix64-style avalanche over int64 values, vectorised.
+
+    Gives every (value, salts) combination an independent pseudo-random
+    64-bit output without constructing a ``Generator`` per element — the
+    churn process calls this once per sampled lookup array and the bulk
+    TSV hasher once per categorical column chunk.
+    """
+    x = values.astype(np.uint64, copy=True)
+    for salt in salts:
+        x ^= np.uint64(salt & 0xFFFFFFFFFFFFFFFF)
+        x = (x + np.uint64(0x9E3779B97F4A7C15))
+        x = (x ^ (x >> np.uint64(30))) * _MIX_MULT_1
+        x = (x ^ (x >> np.uint64(27))) * _MIX_MULT_2
+        x ^= x >> np.uint64(31)
+    return x
+
+
 def _sorted_unique(ids: np.ndarray) -> np.ndarray:
     """Sorted unique values of a 1-D int array.
 

@@ -183,6 +183,19 @@ class TrainingSystem:
         system.spec = spec
         return system
 
+    @classmethod
+    def min_cache_slots(cls, spec, config: ModelConfig) -> Optional[int]:
+        """Per-table cache floor this design needs at ``config``'s geometry.
+
+        ``repro.api.build_system`` rejects specs whose resolved per-table
+        capacity falls below this with a named ``InvalidSystemSpecError``
+        — turning mid-run ``CachePressureError`` deadlocks into
+        construction-time failures.  ``None`` (the default) means the
+        design has no replacement pressure to bound (cache-less baselines,
+        the never-evicting static cache).
+        """
+        return None
+
     def run_trace(
         self, dataset_batches: object, num_batches: Optional[int] = None
     ) -> SystemRunResult:

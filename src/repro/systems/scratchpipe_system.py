@@ -32,7 +32,12 @@ from repro.core.pipeline import (
     HazardMonitor,
     ScratchPipePipeline,
 )
-from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
+from repro.core.scratchpad import (
+    GpuScratchpad,
+    TablePlan,
+    hazard_floor_slots,
+    per_table,
+)
 from repro.data.trace import MiniBatch
 from repro.hardware.energy import CPU, GPU, EnergySlice
 from repro.model.config import ModelConfig
@@ -279,6 +284,19 @@ class ScratchPipeSystem(TrainingSystem):
     @classmethod
     def from_spec(cls, spec, config, hardware):
         return cls(config, hardware, spec=spec)
+
+    @classmethod
+    def min_cache_slots(cls, spec, config):
+        """Hold-mask hazard floor: ``past_window + 1`` worst-case batches.
+
+        Any table sized below this can exhaust hazard-free victims
+        mid-run (``CachePressureError``); ``build_system`` rejects such
+        specs at construction instead (see
+        :func:`repro.core.scratchpad.hazard_floor_slots`).
+        """
+        return hazard_floor_slots(
+            config, past_window=spec.scratchpad.past_window
+        )
 
     def _reusable_scratchpads(self) -> List[GpuScratchpad]:
         """Metadata-only scratchpads, built once per system and reset per run.

@@ -11,7 +11,7 @@ from typing import Optional, Tuple
 
 from repro.api.registry import register_system
 from repro.api.specs import InvalidSystemSpecError, SystemSpec
-from repro.core.scratchpad import GpuScratchpad
+from repro.core.scratchpad import GpuScratchpad, hazard_floor_slots
 from repro.core.strawman import StrawmanCache, make_strawman_scratchpads
 from repro.model.config import ModelConfig
 from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
@@ -63,6 +63,16 @@ class StrawmanSystem(TrainingSystem):
     @classmethod
     def from_spec(cls, spec, config, hardware):
         return cls(config, hardware, spec=spec)
+
+    @classmethod
+    def min_cache_slots(cls, spec, config):
+        """Sequential hazard floor: one worst-case batch of unique IDs.
+
+        The straw-man holds no concurrent batches (its past window is
+        pinned at 0), but every batch still needs its own misses to fit —
+        a cache below one batch's worst-case unique count can deadlock.
+        """
+        return hazard_floor_slots(config, past_window=0)
 
     def _make_cache(self) -> StrawmanCache:
         # Like ScratchPipeSystem, reuse the scratchpads (and their dense

@@ -124,3 +124,82 @@ class TestNewCommands:
     def test_timeline_rejects_unknown_locality(self):
         with pytest.raises(SystemExit):
             main(["timeline", "--locality", "nope"])
+
+
+class TestRealTraceFlow:
+    """The fetch -> ingest -> --trace quickstart, end to end."""
+
+    @pytest.fixture
+    def sample_tsv(self, tmp_path):
+        from repro.data.fetch import generate_sample_tsv
+
+        # A short regeneration of the checked-in fixture: same layout,
+        # fewer lines, so CLI runs stay fast.
+        return generate_sample_tsv(tmp_path / "sample.tsv", num_lines=600)
+
+    @pytest.fixture
+    def compiled(self, sample_tsv, tmp_path, capsys):
+        out = tmp_path / "sample.rtrc"
+        main(["ingest", str(sample_tsv), "--out", str(out)])
+        capsys.readouterr()
+        return out
+
+    def test_trace_listing(self, capsys):
+        main(["trace"])
+        out = capsys.readouterr().out
+        assert "criteo-sample" in out and "criteo-kaggle" in out
+
+    def test_trace_info_verifies_sample(self, capsys):
+        main(["trace", "criteo-sample"])
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "8 tables x 128 batch x 3 lookups" in out
+        assert "15" in out  # batches
+
+    def test_ingest_prints_sha_and_geometry(self, sample_tsv, tmp_path,
+                                            capsys):
+        out_path = tmp_path / "out.rtrc"
+        main(["ingest", str(sample_tsv), "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert out_path.exists()
+        assert "sha256" in out
+        assert "8 tables x 128 batch x 3 lookups" in out
+
+    def test_fig13_trace_tsv_and_compiled_byte_identical(
+        self, sample_tsv, compiled, capsys
+    ):
+        main(["--batches", "4", "--trace", str(compiled),
+              "fig13", "--fractions", "0.1"])
+        from_compiled = capsys.readouterr().out
+        main(["--batches", "4", "--trace", str(sample_tsv),
+              "fig13", "--fractions", "0.1"])
+        from_tsv = capsys.readouterr().out
+        assert from_compiled == from_tsv
+        assert "trace" in from_compiled
+
+    def test_compare_on_trace(self, compiled, capsys):
+        main(["--batches", "4", "--trace", str(compiled), "compare",
+              "--cache", "0.1"])
+        out = capsys.readouterr().out
+        assert "scratchpipe" in out and "static_cache" in out
+
+    def test_trace_rejects_scenario_combo(self, compiled):
+        with pytest.raises(SystemExit, match="--scenario"):
+            main(["--trace", str(compiled), "--scenario", "fast-drift",
+                  "fig13"])
+
+    def test_trace_rejected_where_not_applicable(self, compiled):
+        with pytest.raises(SystemExit, match="--trace does not apply"):
+            main(["--trace", str(compiled), "fig6"])
+        with pytest.raises(SystemExit, match="--trace does not apply"):
+            main(["--trace", str(compiled), "driftsweep"])
+
+    def test_unknown_trace_is_clean_error(self):
+        with pytest.raises(SystemExit, match="invalid --trace"):
+            main(["--trace", "warp-dataset", "fig13"])
+
+    def test_undersized_cache_on_trace_is_spec_error(self, compiled):
+        # floor at sample geometry: 4 * 128 * 3 = 1536 slots of 50000 rows
+        with pytest.raises(Exception, match="hazard-window"):
+            main(["--batches", "4", "--trace", str(compiled),
+                  "fig13", "--fractions", "0.01"])

@@ -48,9 +48,10 @@ class TestScenarioPoints:
 
     def test_trace_key_folds_locality_into_scenario(self, cfg):
         point = scenario_setup(cfg, DRIFT).point("scratchpipe", "high", 0.05, 2)
-        *_, scenario = point.trace_key
+        *_, scenario, trace_file = point.trace_key
         assert scenario.locality == "high"
         assert scenario.drift == DRIFT.drift
+        assert trace_file is None
 
     def test_hit_rate_metric_scratchpipe_only(self, cfg):
         setup = scenario_setup(cfg, None)

@@ -1,0 +1,101 @@
+"""File-backed sweep points: spec-only dispatch for real traces."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup
+from repro.analysis.sweep import SweepPoint, run_grid
+from repro.data.fetch import generate_sample_tsv
+from repro.data.io import TraceFileSpec, compile_trace, sha256_file
+from repro.data.scenarios import DriftSpec, ScenarioSpec
+from repro.data.tsv import TsvTraceSource
+from repro.hardware.spec import DEFAULT_HARDWARE
+from repro.model.config import tiny_config
+
+
+@pytest.fixture(scope="module")
+def compiled_trace(tmp_path_factory):
+    cfg = tiny_config(rows_per_table=400, batch_size=8, lookups_per_table=2,
+                      num_tables=2)
+    tmp = tmp_path_factory.mktemp("trace-sweep")
+    tsv = generate_sample_tsv(tmp / "t.tsv", num_lines=200)
+    source = TsvTraceSource(
+        tsv, cfg, num_dense_columns=13,
+    )
+    path = compile_trace(source, tmp / "t.rtrc")
+    spec = TraceFileSpec(
+        path=str(path), sha256=sha256_file(path),
+        batch_size=8, num_tables=2, lookups_per_table=2, rows_per_table=400,
+    )
+    return cfg, spec
+
+
+def _points(cfg, spec, metric="mean_latency"):
+    setup = ExperimentSetup(config=cfg, num_batches=12, trace_file=spec)
+    return [
+        setup.point(system, "trace", fraction, 4, metric)
+        for system in ("static_cache", "scratchpipe")
+        for fraction in (0.5, 0.8)
+    ]
+
+
+class TestFileBackedDispatch:
+    def test_workers_bit_identical(self, compiled_trace):
+        cfg, spec = compiled_trace
+        serial = run_grid(_points(cfg, spec), workers=1)
+        parallel = run_grid(_points(cfg, spec), workers=2)
+        assert serial == parallel
+
+    def test_point_pickles_small(self, compiled_trace):
+        """The spec — never the trace — crosses the process boundary."""
+        cfg, spec = compiled_trace
+        for point in _points(cfg, spec):
+            assert len(pickle.dumps(point)) < 4096
+
+    def test_trace_key_distinguishes_files(self, compiled_trace):
+        cfg, spec = compiled_trace
+        setup = ExperimentSetup(config=cfg, num_batches=12, trace_file=spec)
+        a = setup.point("scratchpipe", "trace", 0.5, 0)
+        no_file = ExperimentSetup(config=cfg, num_batches=12)
+        b = no_file.point("scratchpipe", "medium", 0.5, 0)
+        assert a.trace_key != b.trace_key
+        assert a.trace_key[-1] == spec
+
+    def test_locality_label_does_not_fork_trace_key(self, compiled_trace):
+        # The file is authoritative: different labels over one file must
+        # share a shared-memory segment, not duplicate it.
+        cfg, spec = compiled_trace
+        setup = ExperimentSetup(config=cfg, num_batches=12, trace_file=spec)
+        a = setup.point("scratchpipe", "trace", 0.5, 0)
+        b = setup.point("scratchpipe", "high", 0.5, 0)
+        assert a.trace_key == b.trace_key
+
+    def test_scenario_combo_rejected(self, compiled_trace):
+        cfg, spec = compiled_trace
+        drifting = ScenarioSpec(drift=DriftSpec(rate=4.0))
+        with pytest.raises(ValueError, match="scenario"):
+            SweepPoint(
+                system="scratchpipe", locality="trace", cache_fraction=0.5,
+                seed=0, num_batches=12, config=cfg,
+                hardware=DEFAULT_HARDWARE, scenario=drifting,
+                trace_file=spec,
+            )
+        with pytest.raises(ValueError, match="scenario"):
+            ExperimentSetup(config=cfg, scenario=drifting, trace_file=spec)
+
+    def test_geometry_sweeps_reject_file_traces(self, compiled_trace):
+        from repro.analysis.experiments import fig15a_dim_sensitivity
+
+        cfg, spec = compiled_trace
+        setup = ExperimentSetup(config=cfg, num_batches=12, trace_file=spec)
+        with pytest.raises(ValueError, match="fixed geometry"):
+            fig15a_dim_sensitivity(dims=(8,), base=setup)
+
+    def test_stationary_scenario_allowed(self, compiled_trace):
+        cfg, spec = compiled_trace
+        setup = ExperimentSetup(
+            config=cfg, num_batches=12, scenario=ScenarioSpec(),
+            trace_file=spec,
+        )
+        assert len(setup.trace("trace")) == 12

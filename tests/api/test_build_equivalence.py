@@ -150,8 +150,9 @@ class TestDeprecationShims:
         )
 
     def test_spec_construction_does_not_warn(self, tiny_cfg, hardware):
+        # 0.3 clears the hazard-window floor at tiny geometry (0.256).
         spec = SystemSpec(system="scratchpipe",
-                          cache=CacheSpec(fraction=0.05))
+                          cache=CacheSpec(fraction=0.3))
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             build_system(spec, tiny_cfg, hardware)

@@ -94,8 +94,9 @@ class TestFactoryValidation:
             registry_module._SYSTEMS.pop("test_undocumented_system", None)
 
     def test_built_system_carries_spec(self, tiny_cfg, hardware):
+        # 0.3 clears the hazard-window floor at tiny geometry (0.256).
         spec = SystemSpec(system="scratchpipe",
-                          cache=CacheSpec(fraction=0.1))
+                          cache=CacheSpec(fraction=0.3))
         assert build_system(spec, tiny_cfg, hardware).spec is spec
 
 

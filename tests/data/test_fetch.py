@@ -1,0 +1,209 @@
+"""Tests for the fetch-and-verify helper (repro.data.fetch)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.fetch import (
+    KNOWN_TRACES,
+    SAMPLE_FIXTURE_PATH,
+    SAMPLE_FIXTURE_SHA256,
+    TRACE_DIR_ENV,
+    fetch_trace,
+    generate_sample_tsv,
+    resolve_trace,
+    trace_dir,
+)
+from repro.data.io import (
+    InvalidTraceFileSpecError,
+    TraceVerificationError,
+    compile_trace,
+    sha256_file,
+)
+from repro.data.trace import MaterialisedDataset, make_dataset
+from repro.model.config import ModelConfig, tiny_config
+
+
+class FakeServer:
+    """Range-aware urlopen stand-in serving one payload from memory."""
+
+    def __init__(self, payload: bytes, honour_range: bool = True,
+                 fail_after: int = None):
+        self.payload = payload
+        self.honour_range = honour_range
+        self.fail_after = fail_after
+        self.requests = []
+
+    def __call__(self, request):
+        range_header = request.get_header("Range")
+        self.requests.append(range_header)
+        start = 0
+        status = 200
+        if range_header and self.honour_range:
+            start = int(range_header.split("=")[1].rstrip("-"))
+            status = 206
+        body = self.payload[start:]
+        if self.fail_after is not None:
+            body = body[: self.fail_after]
+        response = io.BytesIO(body)
+        response.status = status
+        return response
+
+
+@pytest.fixture
+def payload():
+    return b"criteo-bytes-" * 4096
+
+
+@pytest.fixture
+def pin(payload, tmp_path):
+    probe = tmp_path / "probe"
+    probe.write_bytes(payload)
+    return sha256_file(probe)
+
+
+class TestLocalPaths:
+    def test_existing_file_verifies_in_place(self, tmp_path, payload, pin):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(payload)
+        assert fetch_trace(path, sha256=pin) == path
+
+    def test_mismatch_raises(self, tmp_path, payload):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(payload)
+        with pytest.raises(TraceVerificationError, match="mismatch"):
+            fetch_trace(path, sha256="0" * 64)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            fetch_trace(tmp_path / "nope.bin")
+
+    def test_trace_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path / "offline"))
+        assert trace_dir() == tmp_path / "offline"
+
+
+class TestDownload:
+    URL = "https://example.invalid/trace.bin"
+
+    def test_download_and_verify(self, tmp_path, payload, pin):
+        server = FakeServer(payload)
+        dest = tmp_path / "trace.bin"
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=server)
+        assert out == dest
+        assert dest.read_bytes() == payload
+        assert server.requests == [None]
+
+    def test_never_redownloads_verified_file(self, tmp_path, payload, pin,
+                                             monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        server = FakeServer(payload)
+        first = fetch_trace(self.URL, sha256=pin, opener=server)
+        again = fetch_trace(self.URL, sha256=pin, opener=server)
+        assert first == again == tmp_path / "trace.bin"
+        assert len(server.requests) == 1  # second call hit no network
+
+    def test_offline_dir_skips_network(self, tmp_path, payload, pin,
+                                       monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        (tmp_path / "trace.bin").write_bytes(payload)
+
+        def no_network(request):  # pragma: no cover - must not run
+            raise AssertionError("network touched despite offline copy")
+
+        out = fetch_trace(self.URL, sha256=pin, opener=no_network)
+        assert out == tmp_path / "trace.bin"
+
+    def test_resume_from_partial(self, tmp_path, payload, pin):
+        dest = tmp_path / "trace.bin"
+        part = tmp_path / "trace.bin.part"
+        part.write_bytes(payload[:10_000])
+        server = FakeServer(payload)
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=server)
+        assert out.read_bytes() == payload
+        assert server.requests == ["bytes=10000-"]
+        assert not part.exists()
+
+    def test_interrupted_then_resumed(self, tmp_path, payload, pin):
+        dest = tmp_path / "trace.bin"
+        flaky = FakeServer(payload, fail_after=7_000)
+        with pytest.raises(TraceVerificationError):
+            # The truncated body fails verification; the .part would
+            # normally survive a *connection* abort — emulate that by
+            # reinstating the partial bytes.
+            fetch_trace(self.URL, sha256=pin, dest=dest, opener=flaky)
+        (tmp_path / "trace.bin.part").write_bytes(payload[:7_000])
+        server = FakeServer(payload)
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=server)
+        assert out.read_bytes() == payload
+        assert server.requests == ["bytes=7000-"]
+
+    def test_server_without_range_restarts(self, tmp_path, payload, pin):
+        dest = tmp_path / "trace.bin"
+        (tmp_path / "trace.bin.part").write_bytes(b"junk-prefix")
+        server = FakeServer(payload, honour_range=False)
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=server)
+        assert out.read_bytes() == payload  # 200 response replaced the part
+
+    def test_corrupt_download_discarded(self, tmp_path, payload):
+        dest = tmp_path / "trace.bin"
+        server = FakeServer(payload)
+        with pytest.raises(TraceVerificationError, match="pinned"):
+            fetch_trace(self.URL, sha256="0" * 64, dest=dest, opener=server)
+        assert not dest.exists()
+        assert not (tmp_path / "trace.bin.part").exists()
+
+
+class TestSampleFixture:
+    def test_fixture_matches_pinned_sha(self):
+        assert SAMPLE_FIXTURE_PATH.exists()
+        assert sha256_file(SAMPLE_FIXTURE_PATH) == SAMPLE_FIXTURE_SHA256
+
+    def test_generation_is_deterministic(self, tmp_path):
+        regenerated = generate_sample_tsv(tmp_path / "regen.tsv")
+        assert sha256_file(regenerated) == SAMPLE_FIXTURE_SHA256
+
+    def test_sample_opens_and_parses(self):
+        spec = KNOWN_TRACES["criteo-sample"].spec
+        config = spec.configure(ModelConfig())
+        source = spec.open(config)
+        assert len(source) == 15
+        batch = source.batch(0)
+        assert batch.sparse_ids.shape == (8, 128, 3)
+        assert batch.sparse_ids.min() >= 0
+        assert batch.sparse_ids.max() < config.rows_per_table
+
+
+class TestResolveTrace:
+    def test_known_name(self):
+        spec = resolve_trace("criteo-sample")
+        assert spec.sha256 == SAMPLE_FIXTURE_SHA256
+        assert spec.format == "tsv"
+
+    def test_max_batches_threaded(self):
+        assert resolve_trace("criteo-sample", max_batches=3).max_batches == 3
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(InvalidTraceFileSpecError, match="criteo-sample"):
+            resolve_trace("not-a-trace")
+
+    def test_compiled_path_uses_header_geometry(self, tmp_path):
+        cfg = tiny_config(rows_per_table=200, batch_size=4,
+                          lookups_per_table=2, num_tables=2)
+        source = make_dataset(cfg, "medium", seed=1, num_batches=5)
+        path = compile_trace(source, tmp_path / "t.rtrc")
+        spec = resolve_trace(str(path))
+        configured = spec.configure(ModelConfig())
+        assert configured.batch_size == 4
+        assert configured.rows_per_table == 200
+        loaded = spec.open(configured)
+        reference = MaterialisedDataset(source)
+        assert np.array_equal(loaded.batch(2).sparse_ids,
+                              reference.batch(2).sparse_ids)
+
+    def test_tsv_path_gets_sample_geometry(self, tmp_path):
+        path = generate_sample_tsv(tmp_path / "mine.tsv", num_lines=300)
+        spec = resolve_trace(str(path))
+        assert spec.batch_size == 128
+        assert spec.num_tables == 8

@@ -315,7 +315,11 @@ class TestTsvTraceSource:
     def test_with_dense_parses_label_and_features(self, tsv_cfg, tmp_path, rng):
         path = tmp_path / "trace.tsv"
         _write_tsv(path, 8, 4, rng)
-        source = TsvTraceSource(path, tsv_cfg, with_dense=True)
+        # The file carries 13 dense columns but the tiny config expects 4;
+        # the truncate/zero-fill mapping is now an explicit opt-in.
+        source = TsvTraceSource(
+            path, tsv_cfg, with_dense=True, allow_dense_pad=True
+        )
         batch = source.batch(0)
         assert batch.labels.shape == (4,)
         assert (batch.labels == 1.0).all()

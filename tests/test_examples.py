@@ -42,6 +42,13 @@ class TestFastExamples:
         assert "single-use rows" in out
         assert "headroom" in out
 
+    def test_real_trace_quickstart(self, capsys):
+        run_example("real_trace_quickstart.py", ["--batches", "8"])
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "bit-identical to the TSV parse" in out
+        assert "Plan-stage hit rate on the real trace" in out
+
     def test_drift_sweep(self, capsys):
         run_example("drift_sweep.py", ["--rates", "0", "64"])
         out = capsys.readouterr().out
