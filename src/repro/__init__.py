@@ -27,7 +27,12 @@ Quickstart::
 from repro.analysis import (
     CACHE_FRACTIONS,
     ExperimentSetup,
+    GridReport,
     SpeedupPoint,
+    SweepError,
+    SweepGridError,
+    SweepPointTimeoutError,
+    SweepWorkerCrashError,
     fig3_access_counts,
     fig5_breakdown,
     fig6_hit_rate,
@@ -57,6 +62,7 @@ from repro.core import (
     StrawmanCache,
     required_slots,
 )
+from repro.data.fetch import ChecksumMismatchError
 from repro.data import (
     LookaheadLoader,
     MiniBatch,
@@ -90,7 +96,13 @@ __all__ = [
     "register_system",
     "CACHE_FRACTIONS",
     "ExperimentSetup",
+    "GridReport",
     "SpeedupPoint",
+    "SweepError",
+    "SweepGridError",
+    "SweepPointTimeoutError",
+    "SweepWorkerCrashError",
+    "ChecksumMismatchError",
     "fig3_access_counts",
     "fig5_breakdown",
     "fig6_hit_rate",

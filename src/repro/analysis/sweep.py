@@ -11,8 +11,8 @@ Two properties make the parallel path safe:
 * **Determinism** — a point is described by plain configuration values
   (including an optional :class:`ScenarioSpec`, a few-dozen-byte frozen
   dataclass), traces are deterministic functions of those values, and
-  ``Executor.map`` preserves submission order, so the assembled results are
-  identical for any worker count.
+  results are assembled by grid index, so they are identical for any
+  worker count.
 * **Cheap dispatch** — descriptors carry no arrays, ever: what crosses the
   process boundary is the spec, and trace *content* reaches workers through
   shared memory.  Each worker memoises the traces *and system instances*
@@ -26,11 +26,34 @@ Trace distribution (workers > 1):
   segment name + shape.  Workers map the segment and build zero-copy
   ``MiniBatch`` views, so a pool of N workers holds one copy of each trace
   instead of N, and worker start-up serialises kilobytes of specs rather
-  than megabytes of trace.
+  than megabytes of trace.  Segment lifetime is owned by a
+  :class:`_PublishedTraces` context manager: close+unlink runs on *every*
+  exit path — mid-publish failures, worker crashes, quarantined grids —
+  and a failure to release one segment never skips the rest.
 * **On-disk cache (opt-in)** — when ``REPRO_TRACE_CACHE`` names a
   directory, traces are memoised to ``.npz`` archives there instead
   (:mod:`repro.data.io`), surviving across runs.  The user owns
   invalidation of a persistent cache.
+
+Resilience (the long-running-sweep contract):
+
+* **Crash recovery** — a killed worker (OOM, SIGKILL, segfault) breaks the
+  ``ProcessPoolExecutor``; :func:`run_grid` respawns the pool and
+  re-dispatches only the unfinished points.  Failing points are retried
+  with exponential backoff + jitter (injectable clock/sleep/rng, so tests
+  are deterministic) up to ``max_retries``, then *quarantined*: the grid
+  completes with partial results plus a structured :class:`GridReport`
+  instead of dying hours in.
+* **Per-point timeouts** — ``timeout`` bounds each point's wall clock; a
+  stalled worker is killed, the point records a
+  :class:`SweepPointTimeoutError` attempt, and innocent in-flight points
+  are re-queued without burning their retry budget.
+* **Checkpoint/resume** — ``checkpoint=path`` appends each completed
+  point's result to a JSONL journal keyed by :func:`point_key` (a stable
+  content hash of the frozen spec).  A re-run with the same journal skips
+  the already-computed points and returns results bit-identical to an
+  uninterrupted run.  The journal is append-only; a line truncated by an
+  interrupt is skipped on load.
 
 Systems are reused across the grid points that share their construction
 parameters — the dynamic-cache systems reset their scratchpads in place
@@ -41,13 +64,36 @@ scale).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import random
+import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from functools import lru_cache
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -59,6 +105,8 @@ from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
 from repro.systems.base import TrainingSystem
+from repro.testing import faults
+from repro.testing.faults import fault_point
 
 #: Result metrics a sweep point can request.  The ``SystemRunResult``
 #: reductions work for every system; ``hit_rate``, ``per_table_hit_rates``
@@ -98,6 +146,35 @@ TraceKey = Tuple[
 _SHM_MANIFEST: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
 #: Attached segments, pinned so the zero-copy batch views stay valid.
 _SHM_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy (the InvalidSystemSpecError pattern: named subclasses a
+# caller can catch precisely, surfaced in the CLI failure report)
+# ----------------------------------------------------------------------
+class SweepError(RuntimeError):
+    """Base class of the sweep-resilience failures."""
+
+
+class SweepPointTimeoutError(SweepError):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+class SweepWorkerCrashError(SweepError):
+    """A pool worker died (OOM kill, SIGKILL, segfault) mid-point."""
+
+
+class SweepGridError(SweepError):
+    """A grid finished with quarantined points.
+
+    Carries the full :class:`GridReport` as ``.report`` — partial results,
+    per-point failures and checkpoint location — so callers (the CLI)
+    can render a structured failure report instead of a bare traceback.
+    """
+
+    def __init__(self, report: "GridReport") -> None:
+        super().__init__(report.summary())
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -219,6 +296,24 @@ class SweepPoint:
         return (self.config, self.locality, self.seed, self.num_batches,
                 effective, self.trace_file)
 
+    def label(self) -> str:
+        """Compact human-readable identity for reports and fault details."""
+        return (
+            f"{self.system}:{self.locality}:cache={self.cache_fraction:g}:"
+            f"{self.metric}:seed={self.seed}"
+        )
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable content hash of a point — the checkpoint-journal key.
+
+    ``SweepPoint`` and every spec it nests are frozen dataclasses whose
+    ``repr`` is a pure function of their field values (verified stable
+    across processes and ``PYTHONHASHSEED``), so the digest identifies the
+    *computation*, not the process that ran it.
+    """
+    return hashlib.sha256(repr(point).encode("utf-8")).hexdigest()
+
 
 def _log_trace_generation(key: TraceKey) -> None:
     log_dir = os.environ.get(TRACE_GEN_LOG_ENV)
@@ -326,6 +421,7 @@ def _build_system(point: SweepPoint) -> TrainingSystem:
 
 def run_point(point: SweepPoint) -> Any:
     """Evaluate one sweep point: build trace + system, run, reduce."""
+    fault_point("sweep.point", detail=point.label())
     trace = _cached_trace(point.trace_key)
     system = _build_system(point)
     if point.metric in _STREAMING_METRICS:
@@ -353,6 +449,9 @@ def _worker_init(
     # inherited private copies alive.
     _cached_trace.cache_clear()
     _cached_system.cache_clear()
+    # Fresh-process semantics for the fault injector's per-process arrival
+    # counters (a forked worker would otherwise inherit the parent's).
+    faults.reset_arrivals()
 
 
 def _disk_cacheable(key: TraceKey) -> bool:
@@ -370,7 +469,7 @@ def _publish_shared_traces(
     """Materialise each unique trace once and publish it in shared memory.
 
     Fills the caller-owned ``manifest`` (handed to workers) and
-    ``segments`` (unlinked by the caller once the pool is done) in place,
+    ``segments`` (released by the caller once the pool is done) in place,
     so segments created before a mid-publish failure are still released.
     The parent pays one generation per unique trace — the same total work
     one worker would have done — and every worker maps, rather than
@@ -400,12 +499,312 @@ def _publish_shared_traces(
         view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
         for i in range(len(trace)):
             view[i] = trace.batch(i).sparse_ids
+        # Drop the numpy view before the segment can be closed: a live
+        # export of ``segment.buf`` turns ``close()`` into a BufferError.
+        del view
         manifest[key] = (segment.name, shape)
 
 
+class _PublishedTraces:
+    """Exception-safe owner of one grid run's shared-memory segments.
+
+    The previous lifecycle was a ``try/finally`` whose per-segment
+    ``except OSError`` aborted the loop on any *other* exception (e.g. the
+    ``BufferError`` a still-exported memoryview raises from ``close()``),
+    orphaning every later segment.  Here release is unconditional:
+    each segment gets an independent close and unlink attempt on every
+    exit path — mid-publish failures, worker crashes, quarantined grids —
+    and one failure never skips the rest.
+    """
+
+    def __init__(self) -> None:
+        self.manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
+        self.segments: List[shared_memory.SharedMemory] = []
+
+    def publish(
+        self, points: Sequence[SweepPoint], skip_disk_cacheable: bool
+    ) -> None:
+        """Publish the grid's unique traces (idempotent per trace key)."""
+        _publish_shared_traces(
+            points, self.manifest, self.segments, skip_disk_cacheable
+        )
+
+    def release(self) -> None:
+        """Close and unlink every published segment; never raises."""
+        segments, self.segments = self.segments, []
+        self.manifest.clear()
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            try:
+                segment.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "_PublishedTraces":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal: append-only JSONL of completed point results
+# ----------------------------------------------------------------------
+def _encode_result(value: Any) -> Any:
+    """JSON-encode a metric result so it round-trips exactly.
+
+    Tuples and the ``AggregateCacheStats`` dataclass are tagged; numpy
+    scalars narrow to their Python equivalents (value-identical — figure
+    formatting and equality are unchanged).
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_result(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_result(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            "__dict__": [
+                [_encode_result(k), _encode_result(v)]
+                for k, v in value.items()
+            ]
+        }
+    from repro.systems.scratchpipe_system import AggregateCacheStats
+
+    if isinstance(value, AggregateCacheStats):
+        return {
+            "__cache_stats__": {
+                f.name: _encode_result(getattr(value, f.name))
+                for f in dataclass_fields(value)
+            }
+        }
+    raise TypeError(
+        f"cannot journal a result of type {type(value).__name__}; "
+        "teach _encode_result about it before checkpointing this metric"
+    )
+
+
+def _decode_result(value: Any) -> Any:
+    """Inverse of :func:`_encode_result`."""
+    if isinstance(value, list):
+        return [_decode_result(v) for v in value]
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode_result(v) for v in value["__tuple__"])
+        if "__dict__" in value:
+            return {
+                _decode_result(k): _decode_result(v)
+                for k, v in value["__dict__"]
+            }
+        if "__cache_stats__" in value:
+            from repro.systems.scratchpipe_system import AggregateCacheStats
+
+            return AggregateCacheStats(**{
+                k: _decode_result(v)
+                for k, v in value["__cache_stats__"].items()
+            })
+    return value
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed sweep-point results.
+
+    One line per completed point: ``{"v": 1, "key": <point_key>,
+    "result": <tagged JSON>}``.  Loading tolerates a truncated final line
+    (the signature of an interrupt mid-write) and unknown versions, so a
+    journal can always be resumed from.  Appends are flushed per line —
+    an interrupted grid loses at most its in-flight points.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    def load(self) -> Dict[str, Any]:
+        """Read the journal into ``{point_key: decoded result}``."""
+        results: Dict[str, Any] = {}
+        if not self.path.exists():
+            return results
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted append
+                if (
+                    not isinstance(record, dict)
+                    or record.get("v") != self.VERSION
+                    or "key" not in record
+                    or "result" not in record
+                ):
+                    continue
+                results[record["key"]] = _decode_result(record["result"])
+        return results
+
+    def record(self, key: str, result: Any) -> None:
+        """Append one completed point (flushed immediately)."""
+        if self._fh is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {"v": self.VERSION, "key": key, "result": _encode_result(result)},
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Grid options + failure report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridOptions:
+    """Resilience knobs for :func:`run_grid`.
+
+    Attributes:
+        timeout: Per-point wall-clock budget in seconds (``None``: no
+            timeout).  Measured from dispatch; in-flight submissions are
+            capped at the worker count, so dispatch ≈ start.
+        max_retries: Failed attempts a point may retry before quarantine
+            (total attempts = ``max_retries + 1``).
+        backoff_base: First retry delay, seconds.
+        backoff_max: Retry-delay ceiling, seconds.
+        jitter: Uniform multiplicative jitter fraction added to each
+            delay (``delay *= 1 + jitter * rng.random()``).
+        checkpoint: Path of the :class:`CheckpointJournal` (``None``: no
+            journaling).
+        poll: Future-polling interval of the scheduler loop, seconds.
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    checkpoint: Optional[Union[str, Path]] = None
+    poll: float = 0.05
+
+
+#: Ambient defaults, overridable per-call or via :func:`grid_options`.
+_AMBIENT_OPTIONS = GridOptions()
+
+
+@contextmanager
+def grid_options(**overrides: Any) -> Iterator[GridOptions]:
+    """Override the ambient :class:`GridOptions` inside a ``with`` block.
+
+    The CLI's global ``--checkpoint``/``--point-timeout``/
+    ``--point-retries`` flags use this to reach every :func:`run_grid`
+    call a figure makes without threading parameters through each
+    experiment entry point.
+    """
+    global _AMBIENT_OPTIONS
+    saved = _AMBIENT_OPTIONS
+    _AMBIENT_OPTIONS = replace(saved, **overrides)
+    try:
+        yield _AMBIENT_OPTIONS
+    finally:
+        _AMBIENT_OPTIONS = saved
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One quarantined point in a :class:`GridReport`."""
+
+    index: int
+    point: SweepPoint
+    error_type: str
+    message: str
+    attempts: int
+
+
+@dataclass
+class GridReport:
+    """Everything a grid run produced, failures included.
+
+    Attributes:
+        results: Per-point results in grid order; ``None`` at quarantined
+            indices.
+        failures: Quarantined points, in the order they gave up.
+        completed: Points computed by *this* run (excludes resumed).
+        resumed: Points served from the checkpoint journal.
+        retries: Re-dispatches performed (crashes, timeouts, errors).
+        checkpoint: Journal path, when checkpointing was on.
+    """
+
+    results: List[Any]
+    failures: List[PointFailure] = field(default_factory=list)
+    completed: int = 0
+    resumed: int = 0
+    retries: int = 0
+    checkpoint: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line outcome (the :class:`SweepGridError` message)."""
+        return (
+            f"{len(self.failures)} of {len(self.results)} sweep points "
+            f"quarantined ({self.completed} completed, "
+            f"{self.resumed} resumed, {self.retries} retries)"
+        )
+
+    def format(self) -> str:
+        """Multi-line structured failure report (the CLI rendering)."""
+        lines = [f"sweep failure report: {self.summary()}"]
+        for failure in self.failures:
+            lines.append(
+                f"  [{failure.index}] {failure.point.label()}: "
+                f"{failure.error_type}: {failure.message} "
+                f"({failure.attempts} attempts)"
+            )
+        if self.checkpoint:
+            lines.append(
+                f"completed points are journaled in {self.checkpoint}; "
+                "re-run with the same checkpoint to resume"
+            )
+        return "\n".join(lines)
+
+
+_UNSET = object()
+
+
 def run_grid(
-    points: Sequence[SweepPoint], workers: Optional[int] = 1
-) -> List[Any]:
+    points: Sequence[SweepPoint],
+    workers: Optional[int] = 1,
+    *,
+    timeout: Any = _UNSET,
+    max_retries: Any = _UNSET,
+    backoff_base: Any = _UNSET,
+    backoff_max: Any = _UNSET,
+    jitter: Any = _UNSET,
+    checkpoint: Any = _UNSET,
+    report: bool = False,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> Union[List[Any], GridReport]:
     """Evaluate a grid of sweep points, preserving input order.
 
     Args:
@@ -414,45 +813,289 @@ def run_grid(
             process — the deterministic reference path; ``None`` uses all
             CPUs.  Results are order-preserved and value-identical for any
             worker count, so parallelism only changes wall-clock time.
+        timeout, max_retries, backoff_base, backoff_max, jitter,
+        checkpoint: Per-call overrides of the ambient
+            :class:`GridOptions` (see :func:`grid_options`).
+        report: Return the full :class:`GridReport` instead of the bare
+            result list.  Without it, a grid with quarantined points
+            raises :class:`SweepGridError` (carrying the report).
+        clock, sleep, rng: Injectable time source, sleeper and jitter RNG
+            — tests drive the backoff schedule deterministically with a
+            fake clock whose ``sleep`` advances it.  ``clock`` and
+            ``sleep`` must be a consistent pair.
+
+    Resilience (workers > 1): worker crashes respawn the pool and re-queue
+    unfinished points; per-point timeouts kill stalled workers; failing
+    points retry with exponential backoff + jitter up to ``max_retries``
+    and are quarantined afterwards.  The serial path is the bit-identical
+    reference and deliberately stays un-instrumented — exceptions
+    propagate — but honours the checkpoint journal, so an interrupted
+    ``workers=1`` run resumes too.
     """
+    overrides = {
+        name: value
+        for name, value in (
+            ("timeout", timeout),
+            ("max_retries", max_retries),
+            ("backoff_base", backoff_base),
+            ("backoff_max", backoff_max),
+            ("jitter", jitter),
+            ("checkpoint", checkpoint),
+        )
+        if value is not _UNSET
+    }
+    options = replace(_AMBIENT_OPTIONS, **overrides)
     points = list(points)
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError(f"workers must be >= 1 (or None), got {workers}")
-    if workers == 1 or len(points) <= 1:
-        return [run_point(point) for point in points]
-    workers = min(workers, len(points))
-    # Contiguous chunks keep the points sharing a trace in one worker;
-    # shared memory deduplicates trace *content* across the pool, so each
-    # worker's cost per trace is an mmap + unique-set precompute, not a
-    # regeneration.  An explicit REPRO_TRACE_CACHE keeps the persistent
-    # on-disk path for the traces it can serve (the user owns its
-    # invalidation); scenario traces, which the disk cache cannot key,
-    # still go through shared memory.
-    chunksize = -(-len(points) // workers)
-    cache_dir = os.environ.get(TRACE_CACHE_ENV)
-    manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
-    segments: List[shared_memory.SharedMemory] = []
+    grid = _run_grid(
+        points, workers, options, clock, sleep, rng or random.Random(0)
+    )
+    if report:
+        return grid
+    if not grid.ok:
+        raise SweepGridError(grid)
+    return grid.results
+
+
+def _run_grid(
+    points: List[SweepPoint],
+    workers: int,
+    options: GridOptions,
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+    rng: random.Random,
+) -> GridReport:
+    journal = (
+        CheckpointJournal(options.checkpoint) if options.checkpoint else None
+    )
+    keys = [point_key(p) for p in points] if journal else []
+    results: List[Any] = [None] * len(points)
+    out = GridReport(
+        results=results,
+        checkpoint=str(options.checkpoint) if options.checkpoint else None,
+    )
+    pending = list(range(len(points)))
+    if journal is not None:
+        known = journal.load()
+        still_pending = []
+        for i in pending:
+            if keys[i] in known:
+                results[i] = known[keys[i]]
+                out.resumed += 1
+            else:
+                still_pending.append(i)
+        pending = still_pending
     try:
-        _publish_shared_traces(
-            points, manifest, segments, skip_disk_cacheable=bool(cache_dir)
+        if workers == 1 or len(pending) <= 1:
+            for i in pending:
+                results[i] = run_point(points[i])
+                out.completed += 1
+                if journal is not None:
+                    journal.record(keys[i], results[i])
+            return out
+        _run_grid_parallel(
+            points, pending, min(workers, len(pending)), options,
+            out, journal, keys, clock, sleep, rng,
+        )
+        return out
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _make_pool(
+    workers: int,
+    cache_dir: Optional[str],
+    manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
+) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(cache_dir, manifest),
+    )
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool whose workers no longer respond.
+
+    Reaches into the executor's private process table — there is no public
+    API for "a task is stuck, take the workers down" — terminates each
+    worker and escalates to SIGKILL if one survives the grace period.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM ignored
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def _run_grid_parallel(
+    points: List[SweepPoint],
+    pending: List[int],
+    workers: int,
+    options: GridOptions,
+    out: GridReport,
+    journal: Optional[CheckpointJournal],
+    keys: List[str],
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+    rng: random.Random,
+) -> None:
+    """The resilient scheduler: dispatch, recover, retry, quarantine."""
+    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    attempts: Dict[int, int] = {}
+    retry_at: Dict[int, float] = {}
+    queue = deque(pending)
+
+    def record_success(index: int, value: Any) -> None:
+        out.results[index] = value
+        out.completed += 1
+        if journal is not None:
+            journal.record(keys[index], value)
+
+    def record_failure(index: int, error: BaseException) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] > options.max_retries:
+            out.failures.append(
+                PointFailure(
+                    index=index,
+                    point=points[index],
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=attempts[index],
+                )
+            )
+            return
+        out.retries += 1
+        delay = min(
+            options.backoff_max,
+            options.backoff_base * (2 ** (attempts[index] - 1)),
+        )
+        delay *= 1.0 + options.jitter * rng.random()
+        retry_at[index] = clock() + delay
+
+    with _PublishedTraces() as shared:
+        shared.publish(
+            [points[i] for i in pending],
+            skip_disk_cacheable=bool(cache_dir),
         )
         # The parent runs no points itself when workers > 1; dropping its
         # memoised traces here leaves the shared segments as the only
         # copy instead of pinning a private duplicate (arrays + unique
         # sets) in the parent for the life of the process.
         _cached_trace.cache_clear()
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(cache_dir, manifest),
-        ) as pool:
-            return list(pool.map(run_point, points, chunksize=chunksize))
-    finally:
-        for segment in segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+        pool = _make_pool(workers, cache_dir, shared.manifest)
+        inflight: Dict[Future, Tuple[int, float]] = {}
+        try:
+            while queue or inflight or retry_at:
+                now = clock()
+                for index in [i for i, t in retry_at.items() if t <= now]:
+                    del retry_at[index]
+                    queue.append(index)
+                crashed = False
+                while queue and len(inflight) < workers:
+                    index = queue.popleft()
+                    try:
+                        future = pool.submit(run_point, points[index])
+                    except BrokenProcessPool:
+                        # The pool broke between iterations (a worker died
+                        # with nothing of ours in flight to report it
+                        # through): recover below, re-dispatch afterwards.
+                        queue.appendleft(index)
+                        crashed = True
+                        break
+                    inflight[future] = (index, clock())
+                if not crashed and not inflight:
+                    if retry_at:
+                        sleep(max(0.0, min(retry_at.values()) - clock()))
+                    continue
+                done: Sequence[Future] = ()
+                if not crashed:
+                    done, _ = wait(
+                        list(inflight),
+                        timeout=options.poll,
+                        return_when=FIRST_COMPLETED,
+                    )
+                for future in done:
+                    index, _started = inflight.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        record_failure(
+                            index,
+                            SweepWorkerCrashError(
+                                f"worker crashed while "
+                                f"{points[index].label()} was in flight"
+                            ),
+                        )
+                    except Exception as error:
+                        record_failure(index, error)
+                    else:
+                        record_success(index, value)
+                timed_out: List[Future] = []
+                if options.timeout is not None:
+                    now = clock()
+                    timed_out = [
+                        future
+                        for future, (_, started) in inflight.items()
+                        if now - started >= options.timeout
+                    ]
+                if timed_out:
+                    for future in timed_out:
+                        index, _started = inflight.pop(future)
+                        record_failure(
+                            index,
+                            SweepPointTimeoutError(
+                                f"{points[index].label()} exceeded the "
+                                f"{options.timeout:g}s per-point budget"
+                            ),
+                        )
+                    # A running future cannot be cancelled; the only way
+                    # to reclaim a stalled worker is to take the pool
+                    # down.  The remaining in-flight points are innocent
+                    # by construction (they did not exceed the budget) —
+                    # re-queued below without burning their retry budget.
+                    _kill_pool_workers(pool)
+                if crashed:
+                    # The pool is broken: every still-queued future is
+                    # about to fail too.  Give the executor a moment to
+                    # resolve them so the culprit's own future (which
+                    # raises BrokenProcessPool) is charged an attempt,
+                    # then drain.
+                    drained, still = wait(list(inflight), timeout=5.0)
+                    for future in drained:
+                        index, _started = inflight.pop(future)
+                        try:
+                            value = future.result()
+                        except Exception as error:
+                            record_failure(
+                                index,
+                                SweepWorkerCrashError(
+                                    f"worker crashed while "
+                                    f"{points[index].label()} was in "
+                                    f"flight ({type(error).__name__})"
+                                ),
+                            )
+                        else:  # pragma: no cover - completed pre-break
+                            record_success(index, value)
+                    for future in still:  # pragma: no cover - rare race
+                        index, _started = inflight.pop(future)
+                        queue.append(index)
+                if crashed or timed_out:
+                    for future in list(inflight):
+                        index, _started = inflight.pop(future)
+                        queue.append(index)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = _make_pool(workers, cache_dir, shared.manifest)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

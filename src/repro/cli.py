@@ -39,6 +39,8 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -59,6 +61,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.experiments import drift_sensitivity, scenario_comparison
 from repro.analysis.report import banner, format_breakdown, format_table
+from repro.analysis.sweep import SweepGridError, grid_options
 from repro.api import (
     CacheSpec,
     InvalidSystemSpecError,
@@ -698,6 +701,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "heterogeneous caches for the dynamic-cache "
                              "commands (compare/timeline/driftsweep/"
                              "scenarios/hetero)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="journal completed sweep points to this "
+                             "JSONL file; a re-run with the same "
+                             "checkpoint skips them (long-running grids "
+                             "survive interrupts)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require an existing --checkpoint journal "
+                             "and continue it (guards against a typo'd "
+                             "path silently starting from scratch)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock budget for parallel "
+                             "grids; a stalled worker is killed and the "
+                             "point retried")
+    parser.add_argument("--point-retries", type=int, default=None,
+                        metavar="N",
+                        help="failed attempts a sweep point may retry "
+                             "before quarantine (default 2)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig6", help="static hit-rate curves")
@@ -825,7 +846,27 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"{args.command} does not replay a single trace; "
             "--trace does not apply to it"
         )
-    args.func(args)
+    if args.resume:
+        if not args.checkpoint:
+            raise SystemExit("--resume requires --checkpoint PATH")
+        if not Path(args.checkpoint).exists():
+            raise SystemExit(
+                f"--resume: checkpoint journal {args.checkpoint} does not "
+                "exist (drop --resume to start a fresh journal there)"
+            )
+    overrides = {}
+    if args.checkpoint:
+        overrides["checkpoint"] = args.checkpoint
+    if args.point_timeout is not None:
+        overrides["timeout"] = args.point_timeout
+    if args.point_retries is not None:
+        overrides["max_retries"] = args.point_retries
+    try:
+        with grid_options(**overrides):
+            args.func(args)
+    except SweepGridError as error:
+        print(error.report.format(), file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.core.hitmap import EMPTY
 from repro.core.scratchpad import GpuScratchpad, TablePlan
 from repro.data.trace import MiniBatch
 from repro.model.config import ModelConfig
+from repro.testing.faults import fault_point
 
 #: Stage names in pipeline order.
 STAGES = ("load", "plan", "collect", "exchange", "insert", "train")
@@ -560,6 +561,7 @@ class ScratchPipePipeline:
                 self._do_collect(in_flight[collect_idx])
             plan_idx = cycle - 1
             if 0 <= plan_idx < num_batches:
+                fault_point("pipeline.stage", detail=f"plan:{plan_idx}")
                 self._do_plan(in_flight[plan_idx], cycle)
             if cycle < num_batches:
                 in_flight[cycle] = _InFlight(batch=self._get_batch(cycle))

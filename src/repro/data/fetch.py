@@ -26,8 +26,10 @@ End-to-end recipe (the ROADMAP real-trace quickstart)::
 
 from __future__ import annotations
 
+import http.client
 import os
 import shutil
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, replace
@@ -42,12 +44,35 @@ from repro.data.io import (
     TraceVerificationError,
     sha256_file,
 )
+from repro.testing.faults import fault_point
 
 #: Environment variable overriding the trace download/cache directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 #: Bytes per streamed download block.
 _BLOCK_BYTES = 1 << 20
+
+#: Failures a download attempt may transiently hit; retried with backoff.
+#: ``HTTPError`` subclasses ``URLError`` but is a definitive server answer
+#: (404, 403, ...) — it is re-raised immediately, never retried.
+_TRANSIENT_ERRORS = (
+    urllib.error.URLError,
+    http.client.IncompleteRead,
+    ConnectionError,
+    TimeoutError,
+)
+
+#: Retry-delay ceiling, seconds.
+_BACKOFF_CAP_S = 30.0
+
+
+class ChecksumMismatchError(TraceVerificationError):
+    """Fetched or local bytes do not match the pinned sha256.
+
+    Subclasses :class:`TraceVerificationError`, so existing handlers keep
+    working; the narrower name lets the CLI failure report distinguish
+    corrupt content from transient transport failures.
+    """
 
 
 def trace_dir() -> Path:
@@ -85,11 +110,40 @@ def _already_verified(dest: Path, sha256: Optional[str]) -> bool:
     return False
 
 
+def _download_once(url: str, part: Path, opener: Callable) -> None:
+    """One download attempt into the ``.part`` file.
+
+    The resume offset is re-read from the ``.part`` size on *every*
+    attempt: bytes a failed attempt flushed before dying stay banked, so a
+    flaky connection makes forward progress across retries instead of
+    restarting from zero.
+    """
+    fault_point("fetch.read", detail=url)
+    resume_from = part.stat().st_size if part.exists() else 0
+    request = urllib.request.Request(url)
+    if resume_from:
+        request.add_header("Range", f"bytes={resume_from}-")
+    try:
+        response = opener(request)
+    except urllib.error.HTTPError as error:  # pragma: no cover - server-dep
+        if error.code == 416 and resume_from:
+            # Range not satisfiable: the .part already holds everything.
+            return
+        raise
+    status = getattr(response, "status", getattr(response, "code", 200))
+    mode = "ab" if (resume_from and status == 206) else "wb"
+    with response, open(part, mode) as out:
+        shutil.copyfileobj(response, out, _BLOCK_BYTES)
+
+
 def fetch_trace(
     url_or_path: Union[str, Path],
     sha256: Optional[str] = None,
     dest: Optional[Union[str, Path]] = None,
     opener: Optional[Callable] = None,
+    retries: int = 3,
+    backoff_s: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Path:
     """Resolve a trace file to a verified local path.
 
@@ -97,7 +151,7 @@ def fetch_trace(
         url_or_path: An ``http(s)://`` URL to download, or a local path to
             verify in place.
         sha256: Pinned content digest.  Local files and finished downloads
-            are checked against it (:class:`TraceVerificationError` on
+            are checked against it (:class:`ChecksumMismatchError` on
             mismatch); a destination file that already matches is returned
             without touching the network.
         dest: Destination file (default: the URL's basename inside
@@ -105,12 +159,20 @@ def fetch_trace(
         opener: ``urllib.request.urlopen``-compatible callable (tests
             inject a fake server; resumption is exercised without a
             network).
+        retries: Extra attempts after a transient failure (``URLError``,
+            ``IncompleteRead``, connection resets, timeouts).  Definitive
+            ``HTTPError`` answers (404, 403, ...) are never retried.
+        backoff_s: First retry delay, doubling per attempt (capped at
+            :data:`_BACKOFF_CAP_S`).
+        sleep: Injectable sleeper — tests assert the backoff schedule
+            without waiting it out.
 
     Returns:
         The local path holding the verified bytes.
 
     Interrupted downloads leave a ``<name>.part`` file and resume from its
-    length via an HTTP ``Range`` request; servers that ignore the header
+    length via an HTTP ``Range`` request — both across retry attempts
+    inside one call and across calls; servers that ignore the header
     (status 200) restart cleanly.  The final rename is atomic, so ``dest``
     only ever holds complete content.
     """
@@ -120,7 +182,7 @@ def fetch_trace(
         if not path.exists():
             raise FileNotFoundError(f"trace file not found: {path}")
         if sha256 is not None and not _already_verified(path, sha256):
-            raise TraceVerificationError(
+            raise ChecksumMismatchError(
                 f"{path} sha256 mismatch: expected {sha256}, "
                 f"got {sha256_file(path)}"
             )
@@ -130,7 +192,7 @@ def fetch_trace(
     if _already_verified(dest, sha256):
         return dest
     if dest.exists() and sha256 is not None:
-        raise TraceVerificationError(
+        raise ChecksumMismatchError(
             f"{dest} exists but its sha256 does not match the pinned "
             f"{sha256}; delete it to re-download"
         )
@@ -138,27 +200,20 @@ def fetch_trace(
     opener = opener or urllib.request.urlopen
     dest.parent.mkdir(parents=True, exist_ok=True)
     part = dest.with_name(dest.name + ".part")
-    resume_from = part.stat().st_size if part.exists() else 0
-    request = urllib.request.Request(text)
-    if resume_from:
-        request.add_header("Range", f"bytes={resume_from}-")
-    try:
-        response = opener(request)
-    except urllib.error.HTTPError as error:  # pragma: no cover - server-dep
-        if error.code == 416 and resume_from:
-            # Range not satisfiable: the .part already holds everything.
-            response = None
-        else:
-            raise
-    if response is not None:
-        status = getattr(response, "status", getattr(response, "code", 200))
-        mode = "ab" if (resume_from and status == 206) else "wb"
-        with response, open(part, mode) as out:
-            shutil.copyfileobj(response, out, _BLOCK_BYTES)
+    for attempt in range(retries + 1):
+        try:
+            _download_once(text, part, opener)
+            break
+        except urllib.error.HTTPError:
+            raise  # a definitive server answer, not a transient fault
+        except _TRANSIENT_ERRORS:
+            if attempt == retries:
+                raise
+            sleep(min(backoff_s * (2 ** attempt), _BACKOFF_CAP_S))
     actual = sha256_file(part) if sha256 is not None else None
     if sha256 is not None and actual != sha256:
         part.unlink(missing_ok=True)
-        raise TraceVerificationError(
+        raise ChecksumMismatchError(
             f"downloaded {text} does not match the pinned sha256 "
             f"{sha256} (got {actual}); partial file discarded"
         )

@@ -1,0 +1,34 @@
+"""Test-support utilities shipped with the library.
+
+``repro.testing.faults`` is the deterministic fault-injection harness the
+sweep-resilience tests (and the chaos CI leg) drive worker crashes,
+stalls and transient network failures with.  It ships in the package —
+not the test tree — because library code hosts the injection sites and
+downstream users writing their own resilience tests need the same tool.
+"""
+
+from repro.testing.faults import (
+    FAULT_PLAN_ENV,
+    FAULT_MODES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_plan,
+    fault_point,
+    injected_faults,
+    injection_count,
+    reset_arrivals,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_MODES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_plan",
+    "fault_point",
+    "injected_faults",
+    "injection_count",
+    "reset_arrivals",
+]

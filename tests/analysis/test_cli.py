@@ -203,3 +203,65 @@ class TestRealTraceFlow:
         with pytest.raises(Exception, match="hazard-window"):
             main(["--batches", "4", "--trace", str(compiled),
                   "fig13", "--fractions", "0.01"])
+
+
+class TestLongRunningSweeps:
+    """The --checkpoint/--resume/--point-* resilience flags."""
+
+    def test_checkpoint_then_resume_byte_identical(self, tmp_path, capsys):
+        """Acceptance: a resumed checkpointed run reprints the same bytes."""
+        journal = tmp_path / "fig13.jsonl"
+        argv = ["--batches", "6", "--checkpoint", str(journal),
+                "fig13", "--fractions", "0.05"]
+        main(argv)
+        first = capsys.readouterr().out
+        assert journal.exists() and journal.stat().st_size > 0
+        # Second run resumes every point from the journal; output is
+        # byte-identical to the uninterrupted run.
+        main(["--resume"] + argv)
+        assert capsys.readouterr().out == first
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["--resume", "fig13"])
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["--resume", "--checkpoint", str(tmp_path / "none.jsonl"),
+                  "fig13"])
+
+    def test_point_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--point-timeout", "30", "--point-retries", "5", "fig13"]
+        )
+        assert args.point_timeout == 30.0
+        assert args.point_retries == 5
+
+    def test_quarantine_renders_failure_report(self, monkeypatch, capsys):
+        from repro.analysis import experiments
+        from repro.analysis.sweep import (
+            GridReport, PointFailure, SweepGridError, SweepPoint,
+        )
+        from repro.model.config import tiny_config
+
+        point = SweepPoint(
+            system="scratchpipe", locality="high", cache_fraction=0.05,
+            seed=2, num_batches=6, config=tiny_config(),
+            hardware=experiments.DEFAULT_HARDWARE,
+        )
+        report = GridReport(results=[None], failures=[PointFailure(
+            index=0, point=point, error_type="SweepWorkerCrashError",
+            message="worker crashed", attempts=3,
+        )], retries=2)
+
+        def doomed(points, workers=1, **kwargs):
+            raise SweepGridError(report)
+
+        monkeypatch.setattr(experiments, "run_grid", doomed)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--batches", "6", "fig13", "--fractions", "0.05"])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert "sweep failure report" in err
+        assert "SweepWorkerCrashError" in err
+        assert "scratchpipe:high" in err

@@ -1,0 +1,320 @@
+"""Crash recovery, checkpoint/resume and shm-cleanup tests for run_grid.
+
+The acceptance contract of the resilience layer:
+
+* a grid whose worker is SIGKILLed mid-run completes with results
+  bit-identical to the uninterrupted ``workers=1`` run;
+* an interrupted checkpointed grid resumes to identical results;
+* induced crashes and mid-publish failures leak no shared-memory
+  segments (the ``shm_leak_check`` fixture).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import sweep
+from repro.analysis.experiments import ExperimentSetup
+from repro.analysis.sweep import (
+    CheckpointJournal,
+    GridReport,
+    SweepGridError,
+    SweepPointTimeoutError,
+    SweepWorkerCrashError,
+    _PublishedTraces,
+    _decode_result,
+    _encode_result,
+    grid_options,
+    point_key,
+    run_grid,
+    run_point,
+)
+from repro.model.config import tiny_config
+from repro.testing.faults import FaultSpec, injected_faults, injection_count
+
+
+@pytest.fixture
+def setup():
+    cfg = tiny_config(
+        rows_per_table=20_000, batch_size=8, lookups_per_table=2, num_tables=2
+    )
+    return ExperimentSetup(config=cfg, num_batches=10, seed=1)
+
+
+def small_grid(setup):
+    points = []
+    for locality in ("random", "high"):
+        points.append(setup.point("hybrid", locality, 0.0, 0))
+        points.append(setup.point("static_cache", locality, 0.05, 0))
+        points.append(setup.point("strawman", locality, 0.05, 2))
+        points.append(setup.point("scratchpipe", locality, 0.05, 2))
+    return points
+
+
+class FakeClock:
+    """Clock/sleep pair for deterministic backoff-schedule tests."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_matches_serial(self, setup, tmp_path,
+                                             shm_leak_check):
+        """The acceptance criterion: SIGKILL mid-grid, identical results."""
+        points = small_grid(setup)
+        expected = run_grid(points, workers=1)
+        victim = points[3].label()
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="kill", match=victim),
+            state_dir=tmp_path / "faults",
+        ):
+            report = run_grid(points, workers=2, report=True)
+        assert injection_count(str(tmp_path / "faults")) == 1
+        assert isinstance(report, GridReport)
+        assert report.ok
+        assert report.retries >= 1  # the victim (at least) was re-dispatched
+        assert report.results == expected
+
+    def test_raise_in_pipeline_stage_recovers(self, setup, tmp_path,
+                                              shm_leak_check):
+        """A fault *inside* a running evaluation is retried cleanly."""
+        points = small_grid(setup)
+        expected = run_grid(points, workers=1)
+        with injected_faults(
+            FaultSpec(site="pipeline.stage", mode="raise", match="plan:4"),
+            state_dir=tmp_path / "faults",
+        ):
+            report = run_grid(points, workers=2, report=True)
+        assert report.ok
+        assert report.retries >= 1
+        assert report.results == expected
+
+    def test_repeated_failure_quarantines(self, setup, tmp_path):
+        points = small_grid(setup)[:3]
+        victim = points[1].label()
+        fake = FakeClock()
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="raise", match=victim,
+                      times=5),
+            state_dir=tmp_path / "faults",
+        ):
+            with pytest.raises(SweepGridError) as excinfo:
+                run_grid(points, workers=2, max_retries=1,
+                         clock=fake.clock, sleep=fake.sleep)
+        report = excinfo.value.report
+        assert [f.index for f in report.failures] == [1]
+        assert report.failures[0].error_type == "InjectedFaultError"
+        assert report.failures[0].attempts == 2  # 1 try + 1 retry
+        assert report.results[1] is None
+        assert report.results[0] is not None and report.results[2] is not None
+        assert victim in report.format()
+
+    def test_backoff_schedule_is_deterministic(self, setup, tmp_path):
+        """With jitter=0 the retry delays are exactly base * 2**k."""
+        points = small_grid(setup)[:2]
+        victim = points[0].label()
+        fake = FakeClock()
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="raise", match=victim,
+                      times=2),
+            state_dir=tmp_path / "faults",
+        ):
+            report = run_grid(
+                points, workers=2, report=True, max_retries=2,
+                backoff_base=0.25, jitter=0.0,
+                clock=fake.clock, sleep=fake.sleep,
+            )
+        assert report.ok
+        assert report.retries == 2
+        assert fake.sleeps == [0.25, 0.5]
+        assert report.results == run_grid(points, workers=1)
+
+    def test_stalled_point_times_out_and_quarantines(self, setup, tmp_path,
+                                                     shm_leak_check):
+        points = small_grid(setup)[:2]
+        victim = points[0].label()
+        expected_other = run_point(points[1])
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="stall", stall_s=60.0,
+                      match=victim),
+            state_dir=tmp_path / "faults",
+        ):
+            report = run_grid(
+                points, workers=2, report=True, timeout=1.0, max_retries=0,
+            )
+        assert [f.index for f in report.failures] == [0]
+        assert report.failures[0].error_type == "SweepPointTimeoutError"
+        assert "per-point budget" in report.failures[0].message
+        assert report.results[0] is None
+        assert report.results[1] == expected_other
+
+    def test_error_taxonomy(self):
+        assert issubclass(SweepPointTimeoutError, sweep.SweepError)
+        assert issubclass(SweepWorkerCrashError, sweep.SweepError)
+        assert issubclass(SweepGridError, RuntimeError)
+
+
+class TestCheckpointResume:
+    def test_interrupted_serial_run_resumes_identically(self, setup,
+                                                        tmp_path):
+        """The acceptance criterion: interrupt, resume, identical output."""
+        points = small_grid(setup)
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "grid.jsonl"
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="raise", after=3),
+            state_dir=tmp_path / "faults",
+        ):
+            with pytest.raises(Exception, match="injected fault"):
+                run_grid(points, workers=1, checkpoint=journal_path)
+            # The journal holds exactly the points completed pre-interrupt.
+            assert len(CheckpointJournal(journal_path).load()) == 3
+            # The injection budget is spent; the resumed run is clean.
+            report = run_grid(
+                points, workers=1, checkpoint=journal_path, report=True
+            )
+        assert report.resumed == 3
+        assert report.completed == len(points) - 3
+        assert report.results == expected
+
+    def test_parallel_resume_skips_journaled_points(self, setup, tmp_path,
+                                                    monkeypatch):
+        points = small_grid(setup)
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "grid.jsonl"
+        assert run_grid(points, workers=2,
+                        checkpoint=journal_path) == expected
+        # A fully-journaled grid re-runs without computing anything.
+        monkeypatch.setattr(
+            sweep, "run_point",
+            lambda point: pytest.fail("resume recomputed a journaled point"),
+        )
+        report = run_grid(points, workers=2, checkpoint=journal_path,
+                          report=True)
+        assert report.resumed == len(points)
+        assert report.completed == 0
+        assert report.results == expected
+
+    def test_journal_keys_are_content_hashes(self, setup, tmp_path):
+        points = small_grid(setup)[:2]
+        journal_path = tmp_path / "grid.jsonl"
+        run_grid(points, workers=1, checkpoint=journal_path)
+        recorded = set(CheckpointJournal(journal_path).load())
+        assert recorded == {point_key(p) for p in points}
+
+    def test_journal_tolerates_truncated_tail(self, setup, tmp_path):
+        points = small_grid(setup)[:3]
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "grid.jsonl"
+        journal = CheckpointJournal(journal_path)
+        journal.record(point_key(points[0]), expected[0])
+        journal.close()
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"abc","resu')  # interrupt mid-append
+        loaded = CheckpointJournal(journal_path).load()
+        assert loaded == {point_key(points[0]): expected[0]}
+        report = run_grid(points, workers=1, checkpoint=journal_path,
+                          report=True)
+        assert report.resumed == 1
+        assert report.results == expected
+
+    def test_every_metric_shape_round_trips(self, setup, tmp_path):
+        """float / dict / tuple / AggregateCacheStats all journal exactly."""
+        points = [
+            setup.point("scratchpipe", "high", 0.05, 2, metric)
+            for metric in ("mean_latency", "stage_means",
+                           "per_table_hit_rates", "cache_stats", "hit_rate")
+        ]
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "grid.jsonl"
+        run_grid(points, workers=1, checkpoint=journal_path)
+        report = run_grid(points, workers=1, checkpoint=journal_path,
+                          report=True)
+        assert report.resumed == len(points)
+        assert report.results == expected
+        for value in expected:
+            encoded = json.loads(json.dumps(_encode_result(value)))
+            assert _decode_result(encoded) == value
+
+    def test_unjournalable_result_is_a_clear_error(self):
+        with pytest.raises(TypeError, match="cannot journal"):
+            _encode_result(object())
+
+    def test_ambient_grid_options_reach_run_grid(self, setup, tmp_path):
+        points = small_grid(setup)[:2]
+        journal_path = tmp_path / "ambient.jsonl"
+        with grid_options(checkpoint=journal_path):
+            run_grid(points, workers=1)
+        assert len(CheckpointJournal(journal_path).load()) == 2
+        # Restored on exit: no journaling outside the block.
+        journal_path.unlink()
+        run_grid(points, workers=1)
+        assert not journal_path.exists()
+
+
+class TestShmCleanup:
+    def test_mid_publish_failure_releases_segments(self, setup, monkeypatch,
+                                                   shm_leak_check):
+        """Satellite regression: a failure during trace publication used to
+        orphan the segments created before it."""
+        points = small_grid(setup)  # two localities -> two unique traces
+        real = sweep._cached_trace
+        calls = {"n": 0}
+
+        def flaky(key):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("induced mid-publish failure")
+            return real(key)
+
+        flaky.cache_clear = real.cache_clear
+        monkeypatch.setattr(sweep, "_cached_trace", flaky)
+        with pytest.raises(RuntimeError, match="mid-publish"):
+            run_grid(points, workers=2)
+        assert calls["n"] >= 2  # the first segment really was published
+
+    def test_release_survives_failing_segment(self):
+        class Segment:
+            def __init__(self, fail_close=False):
+                self.fail_close = fail_close
+                self.closed = False
+                self.unlinked = False
+
+            def close(self):
+                if self.fail_close:
+                    raise BufferError("memoryview still exported")
+                self.closed = True
+
+            def unlink(self):
+                self.unlinked = True
+
+        bad, good = Segment(fail_close=True), Segment()
+        published = _PublishedTraces()
+        published.segments.extend([bad, good])
+        published.release()
+        # The failing close neither aborted the loop nor skipped unlinks.
+        assert bad.unlinked
+        assert good.closed and good.unlinked
+        assert published.segments == []
+
+    def test_quarantined_grid_releases_segments(self, setup, tmp_path,
+                                                shm_leak_check):
+        points = small_grid(setup)[:2]
+        fake = FakeClock()
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="raise",
+                      match=points[0].label(), times=5),
+            state_dir=tmp_path / "faults",
+        ):
+            with pytest.raises(SweepGridError):
+                run_grid(points, workers=2, max_retries=0,
+                         clock=fake.clock, sleep=fake.sleep)

@@ -1,11 +1,45 @@
 """Shared fixtures for the test suite: laptop-scale configs and traces."""
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 from repro.data.trace import SyntheticDataset, make_dataset
 from repro.hardware.spec import DEFAULT_HARDWARE
 from repro.model.config import ModelConfig, tiny_config
+
+_DEV_SHM = "/dev/shm"
+
+
+def _shm_segments() -> set:
+    """Names of the POSIX shared-memory segments currently alive."""
+    try:
+        return set(os.listdir(_DEV_SHM))
+    except OSError:
+        return set()
+
+
+@pytest.fixture
+def shm_leak_check():
+    """Assert the test leaks no shared-memory segments.
+
+    Snapshots ``/dev/shm`` before the test and fails if new ``psm_``
+    segments (Python's ``multiprocessing.shared_memory`` prefix) survive
+    it — the acceptance check for crash/mid-publish cleanup.  Skips where
+    ``/dev/shm`` is unavailable (non-Linux).
+    """
+    if not (sys.platform.startswith("linux") and os.path.isdir(_DEV_SHM)):
+        pytest.skip("shared-memory leak check requires /dev/shm")
+    before = _shm_segments()
+    yield
+    leaked = {
+        name
+        for name in _shm_segments() - before
+        if name.startswith("psm_")
+    }
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture

@@ -1,11 +1,14 @@
 """Tests for the fetch-and-verify helper (repro.data.fetch)."""
 
+import http.client
 import io
+import urllib.error
 
 import numpy as np
 import pytest
 
 from repro.data.fetch import (
+    ChecksumMismatchError,
     KNOWN_TRACES,
     SAMPLE_FIXTURE_PATH,
     SAMPLE_FIXTURE_SHA256,
@@ -15,6 +18,7 @@ from repro.data.fetch import (
     resolve_trace,
     trace_dir,
 )
+from repro.testing.faults import FaultSpec, injected_faults, injection_count
 from repro.data.io import (
     InvalidTraceFileSpecError,
     TraceVerificationError,
@@ -153,6 +157,112 @@ class TestDownload:
             fetch_trace(self.URL, sha256="0" * 64, dest=dest, opener=server)
         assert not dest.exists()
         assert not (tmp_path / "trace.bin.part").exists()
+
+    def test_mismatch_error_is_the_named_subclass(self, tmp_path, payload):
+        dest = tmp_path / "trace.bin"
+        server = FakeServer(payload)
+        with pytest.raises(ChecksumMismatchError):
+            fetch_trace(self.URL, sha256="0" * 64, dest=dest, opener=server)
+        assert issubclass(ChecksumMismatchError, TraceVerificationError)
+
+
+class DroppingResponse:
+    """Response that serves a byte prefix, then drops the connection."""
+
+    def __init__(self, body: bytes, serve: int):
+        self.body = body
+        self.serve = serve
+        self.status = 200
+        self.served = False
+
+    def read(self, size=-1):
+        if not self.served:
+            self.served = True
+            return self.body[: self.serve]
+        raise http.client.IncompleteRead(b"")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class TestRetries:
+    URL = "https://example.invalid/trace.bin"
+
+    def test_transient_errors_retry_then_succeed(self, tmp_path, payload,
+                                                 pin):
+        server = FakeServer(payload)
+        attempts = {"n": 0}
+
+        def flaky(request):
+            attempts["n"] += 1
+            if attempts["n"] <= 2:
+                raise urllib.error.URLError("connection reset")
+            return server(request)
+
+        sleeps = []
+        dest = tmp_path / "trace.bin"
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=flaky,
+                          backoff_s=0.1, sleep=sleeps.append)
+        assert out.read_bytes() == payload
+        assert attempts["n"] == 3
+        assert sleeps == [0.1, 0.2]  # exponential schedule, no real waiting
+
+    def test_partial_bytes_bank_across_attempts(self, tmp_path, payload,
+                                                pin):
+        """A connection drop keeps its bytes; the retry resumes from them."""
+        server = FakeServer(payload)
+        ranges = []
+
+        def dropping(request):
+            ranges.append(request.get_header("Range"))
+            if len(ranges) == 1:
+                return DroppingResponse(payload, serve=7_000)
+            return server(request)
+
+        dest = tmp_path / "trace.bin"
+        out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=dropping,
+                          sleep=lambda s: None)
+        assert out.read_bytes() == payload
+        # Attempt 1 had no .part; attempt 2 resumed from the banked bytes.
+        assert ranges == [None, "bytes=7000-"]
+
+    def test_gives_up_after_n_retries(self, tmp_path):
+        def dead(request):
+            raise urllib.error.URLError("no route to host")
+
+        sleeps = []
+        with pytest.raises(urllib.error.URLError):
+            fetch_trace(self.URL, dest=tmp_path / "trace.bin", opener=dead,
+                        retries=3, backoff_s=0.5, sleep=sleeps.append)
+        assert sleeps == [0.5, 1.0, 2.0]  # N sleeps, then the raise
+
+    def test_http_errors_are_not_retried(self, tmp_path):
+        attempts = {"n": 0}
+
+        def gone(request):
+            attempts["n"] += 1
+            raise urllib.error.HTTPError(self.URL, 404, "gone", None, None)
+
+        with pytest.raises(urllib.error.HTTPError):
+            fetch_trace(self.URL, dest=tmp_path / "trace.bin", opener=gone,
+                        sleep=lambda s: pytest.fail("retried a 404"))
+        assert attempts["n"] == 1
+
+    def test_injected_read_faults_are_retried(self, tmp_path, payload, pin):
+        """The fault injector drives the same retry path end to end."""
+        server = FakeServer(payload)
+        dest = tmp_path / "trace.bin"
+        with injected_faults(
+            FaultSpec(site="fetch.read", mode="error", times=2),
+            state_dir=tmp_path / "faults",
+        ):
+            out = fetch_trace(self.URL, sha256=pin, dest=dest, opener=server,
+                              sleep=lambda s: None)
+        assert out.read_bytes() == payload
+        assert injection_count(str(tmp_path / "faults")) == 2
 
 
 class TestSampleFixture:

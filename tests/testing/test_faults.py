@@ -1,0 +1,160 @@
+"""The fault injector itself: determinism, budgets, scoping, kill mode."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    fault_point,
+    injected_faults,
+    injection_count,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(site="sweep.point", mode="explode")
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="sweep.point", mode="raise", times=0)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="sweep.point", mode="raise", probability=1.5)
+
+    def test_plan_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="a", mode="raise", times=2, after=1),
+                FaultSpec(site="b", mode="stall", stall_s=0.25),
+            ),
+            state_dir=str(tmp_path),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestFaultPoint:
+    def test_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        fault_point("sweep.point")  # must not raise
+
+    def test_raise_mode_fires_once(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise", times=1)
+        with injected_faults(spec, state_dir=tmp_path):
+            with pytest.raises(InjectedFaultError):
+                fault_point("s")
+            fault_point("s")  # budget spent: second arrival passes
+        assert injection_count(str(tmp_path)) == 1
+
+    def test_times_budget_spans_arrivals(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise", times=3)
+        fired = 0
+        with injected_faults(spec, state_dir=tmp_path):
+            for _ in range(10):
+                try:
+                    fault_point("s")
+                except InjectedFaultError:
+                    fired += 1
+        assert fired == 3
+        assert injection_count(str(tmp_path)) == 3
+
+    def test_after_skips_early_arrivals(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise", after=2)
+        with injected_faults(spec, state_dir=tmp_path):
+            fault_point("s")
+            fault_point("s")
+            with pytest.raises(InjectedFaultError):
+                fault_point("s")
+
+    def test_match_scopes_by_detail(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise", match="target")
+        with injected_faults(spec, state_dir=tmp_path):
+            fault_point("s", detail="innocent")
+            with pytest.raises(InjectedFaultError):
+                fault_point("s", detail="the target point")
+
+    def test_sites_are_independent(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise")
+        with injected_faults(spec, state_dir=tmp_path):
+            fault_point("other.site")
+            with pytest.raises(InjectedFaultError):
+                fault_point("s")
+
+    def test_error_mode_raises_urlerror(self, tmp_path):
+        import urllib.error
+
+        spec = FaultSpec(site="s", mode="error")
+        with injected_faults(spec, state_dir=tmp_path):
+            with pytest.raises(urllib.error.URLError):
+                fault_point("s")
+
+    def test_plan_restored_after_context(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "")
+        with injected_faults(
+            FaultSpec(site="s", mode="raise"), state_dir=tmp_path
+        ):
+            assert os.environ[FAULT_PLAN_ENV]
+        assert os.environ[FAULT_PLAN_ENV] == ""
+
+
+class TestDeterminism:
+    def test_probability_gate_is_pure(self):
+        spec = FaultSpec(site="s", mode="raise", probability=0.5, seed=7)
+        first = [faults._fires(spec, arrival) for arrival in range(64)]
+        second = [faults._fires(spec, arrival) for arrival in range(64)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_probability_replays_across_plan_reinstalls(self, tmp_path):
+        spec = FaultSpec(site="s", mode="raise", probability=0.5, seed=3)
+
+        def run(state_dir):
+            outcomes = []
+            with injected_faults(spec, state_dir=state_dir):
+                for _ in range(32):
+                    try:
+                        fault_point("s")
+                        outcomes.append(False)
+                    except InjectedFaultError:
+                        outcomes.append(True)
+            return outcomes
+
+        assert run(tmp_path / "a") == run(tmp_path / "b")
+
+
+class TestKillMode:
+    def test_kill_sigkills_the_process(self, tmp_path):
+        """mode="kill" takes the whole process down with SIGKILL."""
+        plan = FaultPlan(
+            faults=(FaultSpec(site="s", mode="kill"),),
+            state_dir=str(tmp_path),
+        )
+        code = (
+            "from repro.testing.faults import fault_point\n"
+            "fault_point('s')\n"
+            "print('survived')\n"
+        )
+        env = dict(os.environ, **{FAULT_PLAN_ENV: plan.to_json()})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == -9
+        assert "survived" not in proc.stdout
+        assert injection_count(str(tmp_path)) == 1
