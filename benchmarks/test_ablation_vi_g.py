@@ -43,7 +43,8 @@ def test_ablation_multigpu_scratchpipe(benchmark, setup):
 
     single, multi = run_once(benchmark, experiment)
 
-    print(banner("Section VI-G ablation: multi-GPU ScratchPipe TCO"))
+    print(banner("Section VI-G ablation: multi-GPU ScratchPipe TCO "
+                 f"(mean_latency, warmup={WARMUP})"))
     rows = []
     for g in GPU_COUNTS:
         out = tco_comparison(single, multi[g], num_gpus=g)
@@ -54,7 +55,8 @@ def test_ablation_multigpu_scratchpipe(benchmark, setup):
             f"{out['cost_ratio']:.2f}x",
         ])
     print(format_table(
-        ["config", "ms/iter", "speedup", "scaling eff.", "cost vs 1 GPU"],
+        ["config", "mean_latency ms/iter", "speedup", "scaling eff.",
+         "cost vs 1 GPU"],
         rows,
     ))
 

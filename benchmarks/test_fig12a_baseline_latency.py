@@ -5,14 +5,15 @@ and static caches sized 2-10%, for the four locality classes.
 """
 
 from conftest import run_once
-from repro.analysis.experiments import fig12a_baseline_latency
+from repro.analysis.experiments import effective_warmup, fig12a_baseline_latency
 from repro.analysis.report import banner, format_breakdown
 
 
 def test_fig12a_baseline_latency(benchmark, setup):
     out = run_once(benchmark, lambda: fig12a_baseline_latency(setup))
 
-    print(banner("Figure 12(a): baseline/static-cache latency breakdown (ms)"))
+    print(banner("Figure 12(a): baseline/static-cache mean_latency breakdown "
+                 f"(ms, warmup={effective_warmup(setup.num_batches)})"))
     for locality, designs in out.items():
         for size, groups in designs.items():
             print(format_breakdown(f"{locality:7s} cache={size:4s}", groups))

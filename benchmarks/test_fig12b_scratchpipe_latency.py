@@ -7,14 +7,18 @@ cost shrinks as locality grows, leaving embedding training at GPU speed.
 """
 
 from conftest import run_once
-from repro.analysis.experiments import fig12b_scratchpipe_latency
+from repro.analysis.experiments import (
+    effective_warmup,
+    fig12b_scratchpipe_latency,
+)
 from repro.analysis.report import banner, format_breakdown
 
 
 def test_fig12b_scratchpipe_latency(benchmark, setup):
     out = run_once(benchmark, lambda: fig12b_scratchpipe_latency(setup))
 
-    print(banner("Figure 12(b): ScratchPipe per-stage latency (ms)"))
+    print(banner("Figure 12(b): ScratchPipe per-stage mean_latency "
+                 f"(ms, warmup={effective_warmup(setup.num_batches)})"))
     for locality, sizes in out.items():
         for size, stages in sizes.items():
             print(format_breakdown(f"{locality:7s} cache={size:4s}", stages))

@@ -9,14 +9,15 @@ traces.  The straw-man lands between the static cache and ScratchPipe.
 import numpy as np
 
 from conftest import run_once
-from repro.analysis.experiments import fig13_speedup
+from repro.analysis.experiments import effective_warmup, fig13_speedup
 from repro.analysis.report import banner, format_table
 
 
 def test_fig13_speedup(benchmark, setup):
     points = run_once(benchmark, lambda: fig13_speedup(setup))
 
-    print(banner("Figure 13: speedup normalised to static cache"))
+    print(banner("Figure 13: speedup normalised to static cache "
+                 f"(mean_latency, warmup={effective_warmup(setup.num_batches)})"))
     rows = []
     for p in points:
         s = p.speedups()
@@ -28,7 +29,7 @@ def test_fig13_speedup(benchmark, setup):
         ])
     print(format_table(
         ["locality", "cache", "hybrid", "static", "strawman", "scratchpipe",
-         "SP latency"],
+         "SP mean_latency"],
         rows,
     ))
 

@@ -44,12 +44,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Entries are keyed by label so re-runs update in place and each PR's
-#: perf pass appends one trajectory point.  PR 5 is the real-trace
-#: ingestion PR — the pipeline itself is untouched (this entry confirms
-#: no regression); the new ingest-throughput numbers live in the
-#: ``pr5-tsv-ingest`` entry written by ``test_perf_tsv_ingest.py``.
-RUN_LABEL = "pr5-trace-ingestion"
-PREVIOUS_LABEL = "pr1-vectorised-hot-loops"
+#: perf pass appends one trajectory point.  PR 8 adds the live-replay
+#: serve harness alongside the pipeline — the metadata pipeline itself is
+#: untouched, so this entry confirms no regression against the PR 5
+#: baseline.
+RUN_LABEL = "pr8-live-serve"
+PREVIOUS_LABEL = "pr5-trace-ingestion"
 
 #: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,
 #: trace length, scratchpad slots).

@@ -8,6 +8,7 @@ but omitting the numbers for brevity.  This benchmark regenerates them.
 from conftest import run_once
 from repro.analysis.experiments import (
     batch_size_sensitivity,
+    effective_warmup,
     replacement_policy_sensitivity,
 )
 from repro.analysis.report import banner, format_table
@@ -16,7 +17,8 @@ from repro.analysis.report import banner, format_table
 def test_replacement_policy_sensitivity(benchmark, setup):
     out = run_once(benchmark, lambda: replacement_policy_sensitivity(setup))
 
-    print(banner("Section VI-E: replacement-policy sensitivity (ms/iter)"))
+    print(banner("Section VI-E: replacement-policy sensitivity (mean_latency "
+                 f"ms/iter, warmup={effective_warmup(setup.num_batches)})"))
     rows = [
         [locality] + [f"{results[p] * 1e3:.2f}" for p in ("lru", "lfu", "random")]
         for locality, results in out.items()

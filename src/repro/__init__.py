@@ -16,6 +16,9 @@ Public API tour
   baseline, each producing per-iteration latency/energy breakdowns.
 * ``repro.hardware`` — the analytic Xeon + V100 + PCIe timing substrate.
 * ``repro.analysis`` — one entry point per paper table/figure.
+* ``repro.serve``    — live-traffic replay: seeded open-loop arrivals,
+  bounded-queue backpressure, exact p50/p95/p99 latency and SLA
+  accounting on a deterministic virtual clock.
 
 Quickstart::
 
@@ -75,8 +78,18 @@ from repro.data import (
 )
 from repro.hardware import DEFAULT_HARDWARE, CostModel, HardwareSpec
 from repro.model import DLRMModel, DenseNetwork, ModelConfig, tiny_config
+from repro.serve import (
+    AdmissionRejectedError,
+    ArrivalSpec,
+    ArrivalSpecError,
+    ServeReport,
+    ServeSpec,
+    format_serve_report,
+    replay,
+)
 from repro.systems import (
     HybridSystem,
+    InsufficientSteadyStateError,
     MultiGpuSystem,
     ScratchPipeSystem,
     ScratchPipeTrainingRun,
@@ -135,7 +148,15 @@ __all__ = [
     "DenseNetwork",
     "ModelConfig",
     "tiny_config",
+    "AdmissionRejectedError",
+    "ArrivalSpec",
+    "ArrivalSpecError",
+    "ServeReport",
+    "ServeSpec",
+    "format_serve_report",
+    "replay",
     "HybridSystem",
+    "InsufficientSteadyStateError",
     "MultiGpuSystem",
     "ScratchPipeSystem",
     "ScratchPipeTrainingRun",

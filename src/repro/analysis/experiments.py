@@ -45,6 +45,19 @@ DEFAULT_NUM_BATCHES = 24
 WARMUP = 8
 
 
+def effective_warmup(num_batches: int, warmup: int = WARMUP) -> int:
+    """Largest warm-up that still leaves a steady-state sample.
+
+    The steady-state reductions now *refuse* to trim an entire run
+    (:class:`repro.systems.base.InsufficientSteadyStateError`) instead of
+    silently averaging warm-up iterations.  Figure presets keep their
+    paper warm-up at the default trace lengths, but short exploratory
+    runs (``repro.cli --batches 8``) clamp to ``num_batches - 1`` so one
+    deterministic steady-state sample always remains.
+    """
+    return min(warmup, max(num_batches - 1, 0))
+
+
 @lru_cache(maxsize=4)
 def _materialise_file_trace(
     trace_file: TraceFileSpec, config: ModelConfig, num_batches: int
@@ -131,13 +144,20 @@ class ExperimentSetup:
         metric: str = "mean_latency",
         policy_name: str = "lru",
         system_spec: "Optional[SystemSpec]" = None,
+        arrivals: "Optional[object]" = None,
+        serve: "Optional[object]" = None,
     ) -> SweepPoint:
         """Describe one grid evaluation of this setup for the sweep runner.
 
         ``system_spec`` attaches a full :class:`~repro.api.SystemSpec`
         (heterogeneous caches, plugin systems); when given, ``system`` is
         derived from it and ``cache_fraction``/``policy_name`` only label
-        the point.
+        the point.  ``arrivals``/``serve`` carry the live-replay specs of
+        ``"serve"``-metric points.
+
+        The warm-up is clamped via :func:`effective_warmup` so preset
+        figures keep working on short ``--batches`` runs: at the default
+        trace lengths the clamp is the identity.
         """
         if system_spec is not None:
             system = system_spec.system
@@ -149,12 +169,14 @@ class ExperimentSetup:
             num_batches=self.num_batches,
             config=self.config,
             hardware=self.hardware,
-            warmup=warmup,
+            warmup=effective_warmup(self.num_batches, warmup),
             metric=metric,
             policy_name=policy_name,
             scenario=self.scenario,
             system_spec=system_spec,
             trace_file=self.trace_file,
+            arrivals=arrivals,
+            serve=serve,
         )
 
     def build(self, spec: "SystemSpec | str") -> TrainingSystem:
@@ -356,7 +378,9 @@ def fig14_energy(
         ).run_trace(trace)
         out[locality] = {
             "static_cache": static.mean_energy(warmup=0),
-            "scratchpipe": scratchpipe.mean_energy(warmup=WARMUP),
+            "scratchpipe": scratchpipe.mean_energy(
+                warmup=effective_warmup(setup.num_batches)
+            ),
         }
     return out
 
@@ -657,6 +681,52 @@ def scenario_comparison(
     }
 
 
+def serve_latency_grid(
+    arrivals,
+    setup: Optional[ExperimentSetup] = None,
+    cache_fractions: Sequence[float] = (0.02,),
+    rates: Optional[Sequence[float]] = None,
+    locality: str = "medium",
+    serve=None,
+    workers: int = 1,
+) -> Dict[Tuple[float, float], object]:
+    """Live-replay tail latency over {cache fraction x arrival rate}.
+
+    The figure family the paper's "heavy traffic" framing implies but
+    never plots: for each cache fraction and offered arrival rate, replay
+    the trace as open-loop traffic and report the full
+    :class:`repro.serve.ServeReport` — p50/p95/p99 per-stage latency and
+    the SLA-violation rate.  ``arrivals`` is the base
+    :class:`~repro.serve.ArrivalSpec`; ``rates`` (default: just
+    ``arrivals.rate``) sweeps its rate axis.  ``serve`` optionally carries
+    the queueing/admission/SLA configuration applied at every cell.
+
+    Returns ``{(cache_fraction, rate): ServeReport}``.  Points flow
+    through :func:`run_grid`, so worker counts, checkpoints and resume
+    all behave exactly like every other figure.
+    """
+    from repro.serve import ServeSpec
+
+    setup = setup or ExperimentSetup()
+    rates = tuple(rates) if rates is not None else (arrivals.rate,)
+    base = serve if serve is not None else ServeSpec(arrivals=arrivals)
+    warmup = effective_warmup(setup.num_batches)
+    grid = []
+    cells = []
+    for fraction in cache_fractions:
+        for rate in rates:
+            cell_serve = replace(base, arrivals=replace(arrivals, rate=rate))
+            grid.append(
+                setup.point(
+                    "scratchpipe", locality, fraction, warmup,
+                    metric="serve", serve=cell_serve,
+                )
+            )
+            cells.append((fraction, rate))
+    results = run_grid(grid, workers=workers)
+    return dict(zip(cells, results))
+
+
 def default_heterogeneous_splits(
     num_tables: int,
 ) -> Dict[str, CacheSpec]:
@@ -751,7 +821,9 @@ def table1_cost(
         trace = setup.trace(locality)
         sp_latency = setup.build(SystemSpec(
             system="scratchpipe", cache=CacheSpec(fraction=cache_fraction)
-        )).run_trace(trace).mean_latency(warmup=WARMUP)
+        )).run_trace(trace).mean_latency(
+            warmup=effective_warmup(setup.num_batches)
+        )
         mg_latency = setup.build(SystemSpec(
             system="multi_gpu", num_gpus=num_gpus
         )).run_trace(trace).mean_latency(warmup=0)

@@ -104,6 +104,7 @@ from repro.data.scenarios import ScenarioSpec, build_scenario
 from repro.data.trace import MaterialisedDataset, MiniBatch, make_dataset
 from repro.hardware.spec import HardwareSpec
 from repro.model.config import ModelConfig
+from repro.serve.arrivals import ArrivalSpec, ServeSpec
 from repro.systems.base import TrainingSystem
 from repro.testing import faults
 from repro.testing.faults import fault_point
@@ -115,10 +116,16 @@ from repro.testing.faults import fault_point
 #: metadata pipeline and are only meaningful for the dynamic-cache
 #: ScratchPipe.
 METRICS = ("mean_latency", "mean_energy", "stage_means", "group_means",
-           "hit_rate", "per_table_hit_rates", "cache_stats")
+           "hit_rate", "per_table_hit_rates", "cache_stats", "serve")
 
 #: Metrics that stream the ScratchPipe metadata pipeline.
 _STREAMING_METRICS = ("hit_rate", "per_table_hit_rates", "cache_stats")
+
+#: The live-replay metric: returns a full ``repro.serve.ServeReport``
+#: (p50/p95/p99 per-stage latency, SLA-violation rate) instead of a
+#: scalar.  Like the streaming metrics it drives the ScratchPipe
+#: pipeline, so it is scratchpipe-only.
+_SERVE_METRIC = "serve"
 
 #: Legacy system names a spec-less point may carry; a point with a
 #: ``system_spec`` may name any registered system.
@@ -210,6 +217,12 @@ class SweepPoint:
             spec (not the trace) crosses the process boundary; ``locality``
             becomes a label.  Mutually exclusive with a non-stationary
             ``scenario``.
+        arrivals: Optional :class:`~repro.serve.ArrivalSpec` — shorthand
+            for a ``serve`` spec with default queueing.  Only meaningful
+            (and only allowed) with the ``"serve"`` metric.
+        serve: Optional full :class:`~repro.serve.ServeSpec` (arrivals +
+            queue depths + admission + SLA).  Only allowed with the
+            ``"serve"`` metric; takes precedence over ``arrivals``.
     """
 
     system: str
@@ -225,6 +238,8 @@ class SweepPoint:
     scenario: Optional[ScenarioSpec] = None
     system_spec: Optional[SystemSpec] = None
     trace_file: Optional[TraceFileSpec] = None
+    arrivals: Optional[ArrivalSpec] = None
+    serve: Optional[ServeSpec] = None
 
     def __post_init__(self) -> None:
         if (
@@ -251,10 +266,24 @@ class SweepPoint:
             raise ValueError(
                 f"unknown metric {self.metric!r}; expected one of {METRICS}"
             )
-        if self.metric in _STREAMING_METRICS and self.system != "scratchpipe":
+        if (
+            self.metric in _STREAMING_METRICS + (_SERVE_METRIC,)
+            and self.system != "scratchpipe"
+        ):
             raise ValueError(
                 f"the {self.metric} metric streams the ScratchPipe metadata "
                 f"pipeline and is not defined for {self.system!r}"
+            )
+        if self.metric == _SERVE_METRIC:
+            if self.arrivals is None and self.serve is None:
+                raise ValueError(
+                    "the serve metric needs an arrival process: set "
+                    "point.arrivals (ArrivalSpec) or point.serve (ServeSpec)"
+                )
+        elif self.arrivals is not None or self.serve is not None:
+            raise ValueError(
+                f"arrivals/serve specs only apply to the {_SERVE_METRIC!r} "
+                f"metric, not {self.metric!r}"
             )
 
     @property
@@ -272,6 +301,15 @@ class SweepPoint:
         return uniform_system_spec(
             self.system, cache_fraction, policy=self.policy_name
         )
+
+    @property
+    def resolved_serve(self) -> Optional[ServeSpec]:
+        """The full serve spec of a ``"serve"``-metric point."""
+        if self.serve is not None:
+            return self.serve
+        if self.arrivals is not None:
+            return ServeSpec(arrivals=self.arrivals)
+        return None
 
     @property
     def trace_key(self) -> TraceKey:
@@ -431,6 +469,14 @@ def run_point(point: SweepPoint) -> Any:
         if point.metric == "per_table_hit_rates":
             return aggregate.per_table_hit_rates()
         return aggregate
+    if point.metric == _SERVE_METRIC:
+        # Lazy import mirrors the AggregateCacheStats codec pattern: the
+        # spec types are cheap, the replay machinery loads on first use.
+        from repro.serve import replay
+
+        return replay(
+            system, trace, point.resolved_serve, warmup=point.warmup
+        )
     result = system.run_trace(trace)
     return getattr(result, point.metric)(warmup=point.warmup)
 
@@ -586,6 +632,15 @@ def _encode_result(value: Any) -> Any:
                 for f in dataclass_fields(value)
             }
         }
+    from repro.serve.report import ServeReport
+
+    if isinstance(value, ServeReport):
+        return {
+            "__serve_report__": {
+                f.name: _encode_result(getattr(value, f.name))
+                for f in dataclass_fields(value)
+            }
+        }
     raise TypeError(
         f"cannot journal a result of type {type(value).__name__}; "
         "teach _encode_result about it before checkpointing this metric"
@@ -610,6 +665,13 @@ def _decode_result(value: Any) -> Any:
             return AggregateCacheStats(**{
                 k: _decode_result(v)
                 for k, v in value["__cache_stats__"].items()
+            })
+        if "__serve_report__" in value:
+            from repro.serve.report import ServeReport
+
+            return ServeReport(**{
+                k: _decode_result(v)
+                for k, v in value["__serve_report__"].items()
             })
     return value
 

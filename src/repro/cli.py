@@ -19,6 +19,8 @@ Usage::
     python -m repro.cli trace criteo-sample
     python -m repro.cli ingest criteo-sample --out sample.rtrc
     python -m repro.cli --trace sample.rtrc fig13 --fractions 0.05
+    python -m repro.cli serve --arrivals poisson:16
+    python -m repro.cli serve --fractions 0.02 0.1 --rates 8 16 24
 
 Every subcommand prints the same rows/series the corresponding paper table
 or figure reports, using the calibrated analytic timing model.  The global
@@ -48,6 +50,7 @@ import numpy as np
 from repro.analysis.cost import cost_saving
 from repro.analysis.experiments import (
     ExperimentSetup,
+    effective_warmup,
     fig6_hit_rate,
     fig12b_scratchpipe_latency,
     fig13_speedup,
@@ -57,6 +60,7 @@ from repro.analysis.experiments import (
     heterogeneous_cache,
     overhead_vi_d,
     replacement_policy_sensitivity,
+    serve_latency_grid,
     table1_cost,
 )
 from repro.analysis.experiments import drift_sensitivity, scenario_comparison
@@ -89,6 +93,12 @@ from repro.data.scenarios import (
     ScenarioSpec,
     ScenarioSpecError,
     scenario_by_name,
+)
+from repro.serve import (
+    ArrivalSpecError,
+    ServeSpec,
+    format_serve_report,
+    parse_arrivals,
 )
 
 
@@ -225,7 +235,10 @@ def cmd_fig12b(args: argparse.Namespace) -> None:
         _setup(args), cache_fractions=tuple(args.fractions),
         workers=args.workers, localities=_localities(args),
     )
-    print(banner("Figure 12(b): ScratchPipe per-stage latency"))
+    print(banner(
+        "Figure 12(b): ScratchPipe per-stage mean_latency "
+        f"(warmup={effective_warmup(args.batches)})"
+    ))
     for locality, sizes in out.items():
         for size, stages in sizes.items():
             print(format_breakdown(f"{locality:7s} cache={size:4s}", stages))
@@ -284,7 +297,10 @@ def cmd_policies(args: argparse.Namespace) -> None:
         _setup(args), cache_fraction=args.cache, workers=args.workers,
         localities=_localities(args),
     )
-    print(banner("Section VI-E: replacement-policy sensitivity (ms/iter)"))
+    print(banner(
+        "Section VI-E: replacement-policy sensitivity (mean_latency "
+        f"ms/iter, warmup={effective_warmup(args.batches)})"
+    ))
     policies = sorted(next(iter(out.values())))
     print(format_table(
         ["locality"] + policies,
@@ -363,6 +379,9 @@ def cmd_compare(args: argparse.Namespace) -> None:
     if getattr(args, "system", None):
         extra = _dynamic_spec(args, args.cache)
         specs[f"custom ({extra.system})"] = extra
+    # The sequential baselines have no pipeline fill to exclude; the
+    # pipelined designs warm up over (at most) the trace the run affords.
+    pipelined_warmup = effective_warmup(args.batches)
     warmups = {"hybrid": 0, "static_cache": 0}
     results = {}
     for name, spec in specs.items():
@@ -371,18 +390,72 @@ def cmd_compare(args: argparse.Namespace) -> None:
         except InvalidSystemSpecError as error:
             raise SystemExit(f"invalid system spec for {name}: {error}") from None
         results[name] = system.run_trace(trace).mean_latency(
-            warmups.get(name, 8)
+            warmups.get(name, pipelined_warmup)
         )
     if cache.is_uniform and cache.fraction is not None:
         cache_label = f"{cache.fraction:.0%} cache"
     else:
         cache_label = format_cache_spec(cache)
-    print(banner(f"System comparison — {args.locality}, {cache_label}"))
+    print(banner(
+        f"System comparison — {args.locality}, {cache_label}, "
+        f"mean_latency (warmup={pipelined_warmup}; baselines 0)"
+    ))
     print(format_table(
-        ["system", "ms/iter", "vs static"],
+        ["system", "mean_latency ms/iter", "vs static"],
         [
             [name, f"{t * 1e3:.2f}", f"{results['static_cache'] / t:.2f}x"]
             for name, t in results.items()
+        ],
+    ))
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Live-traffic replay: p50/p95/p99 latency + SLA-violation report.
+
+    One (cache, rate) cell prints the full per-stage percentile report;
+    ``--fractions``/``--rates`` sweep a {cache fraction x arrival rate}
+    grid through ``run_grid`` (so ``--workers``, ``--checkpoint`` and
+    ``--resume`` behave exactly like every other figure).
+    """
+    if args.locality not in LOCALITY_CLASSES and not args.trace:
+        raise SystemExit(
+            f"unknown locality {args.locality!r}; pick from {LOCALITY_CLASSES}"
+        )
+    setup = _setup(args)
+    try:
+        arrivals = parse_arrivals(args.arrivals)
+        serve = ServeSpec(
+            arrivals=arrivals,
+            queue_depth=args.queue_depth,
+            admission_depth=args.admission_depth,
+            admission=args.admission,
+            sla_seconds=args.sla / 1e3 if args.sla is not None else None,
+        )
+    except ArrivalSpecError as error:
+        raise SystemExit(f"invalid serve configuration: {error}") from None
+    locality = _localities(args, default=(args.locality,))[0]
+    fractions = tuple(args.fractions) if args.fractions else (args.cache,)
+    rates = tuple(args.rates) if args.rates else (arrivals.rate,)
+    out = serve_latency_grid(
+        arrivals, setup, cache_fractions=fractions, rates=rates,
+        locality=locality, serve=serve, workers=args.workers,
+    )
+    if len(out) == 1:
+        print(format_serve_report(next(iter(out.values()))))
+        return
+    warmup = effective_warmup(args.batches)
+    print(banner(
+        f"Live replay — {locality}, {args.arrivals}, "
+        f"end_to_end latency percentiles, warmup={warmup}"
+    ))
+    print(format_table(
+        ["cache", "rate/s", "p50 ms", "p95 ms", "p99 ms",
+         "SLA violations", "rejected"],
+        [
+            [f"{fraction:.0%}", f"{rate:g}"]
+            + [f"{p * 1e3:.3f}" for p in report.end_to_end]
+            + [f"{report.sla_violation_rate:.4f}", str(report.rejected)]
+            for (fraction, rate), report in out.items()
         ],
     ))
 
@@ -426,10 +499,11 @@ def cmd_scenarios(args: argparse.Namespace) -> None:
     )
     print(banner(
         f"Scenario matrix — {args.locality} base locality, "
-        f"{args.cache:.0%} cache"
+        f"{args.cache:.0%} cache, "
+        f"mean_latency (warmup={effective_warmup(args.batches)})"
     ))
     print(format_table(
-        ["scenario", "ms/iter", "plan hit rate"],
+        ["scenario", "mean_latency ms/iter", "plan hit rate"],
         [
             [name, f"{row['mean_latency'] * 1e3:.2f}",
              f"{row['hit_rate']:.1%}"]
@@ -765,6 +839,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", type=float, default=0.02)
     p.set_defaults(func=cmd_compare, supports_system=True,
                    supports_cache_spec=True, supports_trace=True)
+
+    p = sub.add_parser("serve",
+                       help="live-traffic replay: p50/p95/p99 latency + "
+                            "SLA-violation rate")
+    # Default rate sits just under the paper-scale ScratchPipe capacity
+    # (~21 iterations/s at 47.8 ms/iter), where queueing tails are
+    # informative rather than pure overload.
+    p.add_argument("--arrivals", default="poisson:16",
+                   help="arrival process: poisson:<rate>, "
+                        "bursty:<rate>[:factor[:period[:duration]]], or "
+                        "diurnal:<rate>[:amplitude[:period]]")
+    p.add_argument("--locality", default="medium")
+    p.add_argument("--cache", type=float, default=0.02)
+    p.add_argument("--fractions", type=float, nargs="+", default=None,
+                   help="cache-fraction axis of the serve grid "
+                        "(default: just --cache)")
+    p.add_argument("--rates", type=float, nargs="+", default=None,
+                   help="arrival-rate axis of the serve grid "
+                        "(default: just the --arrivals rate)")
+    p.add_argument("--queue-depth", type=int, default=4,
+                   help="bounded buffer slots between pipeline stages")
+    p.add_argument("--admission-depth", type=int, default=16,
+                   help="entry-queue slots (reject policy only)")
+    p.add_argument("--admission", choices=("queue", "reject"),
+                   default="queue")
+    p.add_argument("--sla", type=float, default=None, metavar="MS",
+                   help="end-to-end SLA in milliseconds (default: 3x the "
+                        "mean end-to-end service time)")
+    p.set_defaults(func=cmd_serve, supports_trace=True)
 
     p = sub.add_parser("driftsweep", help="hit rate vs hot-set drift rate")
     p.add_argument("--rates", type=float, nargs="+",

@@ -12,6 +12,7 @@ from repro.core.pipeline import (
     PLAN_TO_COLLECT,
     PLAN_TO_INSERT,
     PLAN_TO_TRAIN,
+    PRICED_STAGE_OFFSETS,
     STAGES,
 )
 from repro.core.replacement import (
@@ -49,6 +50,7 @@ __all__ = [
     "PLAN_TO_COLLECT",
     "PLAN_TO_INSERT",
     "PLAN_TO_TRAIN",
+    "PRICED_STAGE_OFFSETS",
     "STAGES",
     "CachePressureError",
     "LfuPolicy",

@@ -36,6 +36,19 @@ PLAN_TO_INSERT = 3
 #: Pipeline distance from a batch's [Plan] to its [Train].
 PLAN_TO_TRAIN = 4
 
+#: Pipeline offsets of the *priced* stages (batch ``b`` is at stage ``s``
+#: in cycle ``b + offset``); Load is unpriced — it overlaps host-side
+#: dataset reads.  Shared by the steady-state cycle-time model
+#: (``repro.systems.scratchpipe_system``) and the live-replay tandem
+#: queue (``repro.serve``).
+PRICED_STAGE_OFFSETS = {
+    "plan": 1,
+    "collect": 2,
+    "exchange": 3,
+    "insert": 4,
+    "train": 5,
+}
+
 
 class PipelineTrainer(Protocol):
     """Callback the [Train] stage invokes for one mini-batch.

@@ -1,0 +1,243 @@
+"""Seeded open-loop arrival processes for the live-replay harness.
+
+The paper's service setting — "millions of users, heavy traffic" — implies
+batches *arrive* on their own clock instead of being fed back-to-back.
+:class:`ArrivalSpec` describes that clock as an open-loop (arrivals ignore
+system state) renewal process: exponential inter-arrival gaps whose mean is
+modulated per arrival index, giving Poisson, bursty (on/off rate steps) and
+diurnal (sinusoidal rate) traffic from one seeded generator.
+
+Like every other spec in the repo (``ScenarioSpec``, ``SystemSpec``), the
+specs here are frozen, hashable, picklable, and validate eagerly in
+``__post_init__`` with a named ``ValueError`` subclass so sweep workers
+never discover a bad spec mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Supported arrival-process kinds.
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+#: Admission policies of :class:`ServeSpec`.
+ADMISSION_POLICIES = ("queue", "reject")
+
+#: Salt mixed into the arrival RNG stream so arrival gaps never collide
+#: with trace/scenario streams derived from the same user seed.
+_ARRIVAL_SALT = 0x5EB5
+
+
+class ArrivalSpecError(ValueError):
+    """An :class:`ArrivalSpec`/:class:`ServeSpec` field is out of range."""
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """An open-loop arrival process over virtual time.
+
+    Attributes:
+        kind: ``"poisson"`` (constant rate), ``"bursty"`` (rate multiplied
+            by ``burst_factor`` for ``burst_duration`` out of every
+            ``burst_period`` arrivals), or ``"diurnal"`` (rate modulated by
+            ``1 + amplitude * sin(2*pi*i / diurnal_period)``).
+        rate: Mean arrivals (batches) per virtual second outside bursts.
+        burst_factor: Bursty only — rate multiplier inside a burst.
+        burst_period: Bursty only — arrivals per on/off cycle.
+        burst_duration: Bursty only — burst length in arrivals
+            (``<= burst_period``).
+        amplitude: Diurnal only — fractional modulation depth in ``[0, 1)``.
+        diurnal_period: Diurnal only — arrivals per full sinusoid cycle.
+    """
+
+    kind: str = "poisson"
+    rate: float = 1000.0
+    burst_factor: float = 4.0
+    burst_period: int = 64
+    burst_duration: int = 8
+    amplitude: float = 0.5
+    diurnal_period: int = 256
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ArrivalSpecError(
+                f"kind must be one of {ARRIVAL_KINDS}, got {self.kind!r}"
+            )
+        if not (self.rate > 0.0 and math.isfinite(self.rate)):
+            raise ArrivalSpecError(
+                f"rate must be finite and > 0, got {self.rate!r}"
+            )
+        if self.burst_factor < 1.0:
+            raise ArrivalSpecError(
+                f"burst_factor must be >= 1, got {self.burst_factor!r}"
+            )
+        if self.burst_period < 1:
+            raise ArrivalSpecError(
+                f"burst_period must be >= 1, got {self.burst_period!r}"
+            )
+        if not 1 <= self.burst_duration <= self.burst_period:
+            raise ArrivalSpecError(
+                "burst_duration must be in [1, burst_period], got "
+                f"{self.burst_duration!r} (period {self.burst_period!r})"
+            )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ArrivalSpecError(
+                f"amplitude must be in [0, 1), got {self.amplitude!r}"
+            )
+        if self.diurnal_period < 2:
+            raise ArrivalSpecError(
+                f"diurnal_period must be >= 2, got {self.diurnal_period!r}"
+            )
+
+    def rates(self, indices: np.ndarray) -> np.ndarray:
+        """Instantaneous arrival rate at each arrival index."""
+        indices = np.asarray(indices)
+        if self.kind == "poisson":
+            return np.full(indices.shape, self.rate, dtype=np.float64)
+        if self.kind == "bursty":
+            in_burst = (indices % self.burst_period) < self.burst_duration
+            return np.where(in_burst, self.rate * self.burst_factor, self.rate)
+        # diurnal
+        phase = 2.0 * np.pi * indices / self.diurnal_period
+        return self.rate * (1.0 + self.amplitude * np.sin(phase))
+
+
+def unit_gaps(seed: int, n: int) -> np.ndarray:
+    """``n`` unit-exponential inter-arrival gaps, deterministic in ``seed``.
+
+    The same unit stream underlies every :class:`ArrivalSpec` kind —
+    per-index rate modulation only rescales it — so conformance tests can
+    invert the scaling and test the residuals against Exp(1) regardless
+    of kind.
+    """
+    if n < 0:
+        raise ArrivalSpecError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(
+        np.random.SeedSequence((int(seed), _ARRIVAL_SALT))
+    )
+    return rng.exponential(1.0, size=n)
+
+
+def arrival_times(spec: ArrivalSpec, seed: int, n: int) -> np.ndarray:
+    """Virtual arrival times (seconds) of the first ``n`` batches.
+
+    Unit-exponential gaps scaled by each index's mean gap ``1 / rate_i``
+    and cumulatively summed — deterministic in ``(spec, seed, n)`` and a
+    prefix property holds: the first ``k`` arrivals of an ``n``-batch
+    replay equal the ``k``-batch replay's arrivals exactly.
+    """
+    gaps = unit_gaps(seed, n) / spec.rates(np.arange(n))
+    return np.cumsum(gaps)
+
+
+def parse_arrivals(text: str) -> ArrivalSpec:
+    """Parse a CLI arrival string into an :class:`ArrivalSpec`.
+
+    Accepted forms (all numbers positional, later ones optional)::
+
+        poisson:<rate>
+        bursty:<rate>[:<factor>[:<period>[:<duration>]]]
+        diurnal:<rate>[:<amplitude>[:<period>]]
+    """
+    parts = text.split(":")
+    kind = parts[0]
+    if kind not in ARRIVAL_KINDS:
+        raise ArrivalSpecError(
+            f"unknown arrival kind {kind!r}; expected one of {ARRIVAL_KINDS}"
+        )
+    if len(parts) < 2:
+        raise ArrivalSpecError(
+            f"missing rate in {text!r}; expected e.g. '{kind}:1000'"
+        )
+    try:
+        numbers = [float(p) for p in parts[1:]]
+    except ValueError:
+        raise ArrivalSpecError(f"non-numeric field in {text!r}") from None
+    rate = numbers[0]
+    extras = numbers[1:]
+    if kind == "poisson":
+        if extras:
+            raise ArrivalSpecError(
+                f"poisson takes only a rate, got extra fields in {text!r}"
+            )
+        return ArrivalSpec(kind="poisson", rate=rate)
+    if kind == "bursty":
+        if len(extras) > 3:
+            raise ArrivalSpecError(f"too many fields in {text!r}")
+        kwargs = {}
+        if len(extras) >= 1:
+            kwargs["burst_factor"] = extras[0]
+        if len(extras) >= 2:
+            kwargs["burst_period"] = int(extras[1])
+        if len(extras) >= 3:
+            kwargs["burst_duration"] = int(extras[2])
+        return ArrivalSpec(kind="bursty", rate=rate, **kwargs)
+    # diurnal
+    if len(extras) > 2:
+        raise ArrivalSpecError(f"too many fields in {text!r}")
+    kwargs = {}
+    if len(extras) >= 1:
+        kwargs["amplitude"] = extras[0]
+    if len(extras) >= 2:
+        kwargs["diurnal_period"] = int(extras[1])
+    return ArrivalSpec(kind="diurnal", rate=rate, **kwargs)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Full configuration of one live-replay serve run.
+
+    Attributes:
+        arrivals: The open-loop traffic process.
+        queue_depth: Bounded buffer slots between consecutive pipeline
+            stages — a batch finishing stage ``k`` blocks in place until
+            the batch ``queue_depth`` ahead of it has started stage
+            ``k + 1`` (blocking-after-service), so backpressure propagates
+            upstream instead of queues growing without bound.
+        admission_depth: Entry-queue slots ahead of the first stage;
+            only consulted under the ``"reject"`` policy.
+        admission: ``"queue"`` admits every arrival (it waits as long as
+            it must); ``"reject"`` drops arrivals that find
+            ``admission_depth`` batches already waiting, accounted as
+            :class:`repro.serve.loop.AdmissionRejectedError` rejections.
+        sla_seconds: Absolute end-to-end latency SLA; ``None`` derives it
+            as ``sla_factor`` times the mean end-to-end *service* time of
+            the measured batches (queueing-free latency).
+        sla_factor: Multiplier for the derived SLA.
+        seed: Arrival-stream seed (independent of the trace seed).
+    """
+
+    arrivals: ArrivalSpec = ArrivalSpec()
+    queue_depth: int = 4
+    admission_depth: int = 16
+    admission: str = "queue"
+    sla_seconds: Optional[float] = None
+    sla_factor: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ArrivalSpecError(
+                f"queue_depth must be >= 1, got {self.queue_depth!r}"
+            )
+        if self.admission_depth < 1:
+            raise ArrivalSpecError(
+                f"admission_depth must be >= 1, got {self.admission_depth!r}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ArrivalSpecError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.sla_seconds is not None and not self.sla_seconds > 0.0:
+            raise ArrivalSpecError(
+                f"sla_seconds must be > 0, got {self.sla_seconds!r}"
+            )
+        if not self.sla_factor > 0.0:
+            raise ArrivalSpecError(
+                f"sla_factor must be > 0, got {self.sla_factor!r}"
+            )

@@ -1,0 +1,124 @@
+"""Percentile latency reports of the live-replay harness.
+
+Percentiles are *exact* nearest-rank order statistics
+(``sorted[ceil(q * n) - 1]``) — no interpolation — so two replays of the
+same spec produce bit-identical reports and checkpoint journals round-trip
+them without float drift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: The quantiles every serve report carries, in order.
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def exact_percentiles(
+    values: Sequence[float], quantiles: Sequence[float] = PERCENTILES
+) -> Tuple[float, ...]:
+    """Nearest-rank percentiles of ``values`` (must be non-empty)."""
+    if len(values) == 0:
+        raise ValueError("cannot take percentiles of an empty series")
+    ordered = sorted(float(v) for v in values)
+    out = []
+    for q in quantiles:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        rank = max(1, math.ceil(q * len(ordered)))
+        out.append(ordered[rank - 1])
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of one live-replay run.
+
+    All latencies are virtual-clock seconds and include queueing and
+    blocking delay, not just service time.  Percentile tuples are
+    ``(p50, p95, p99)`` in the order of :data:`PERCENTILES`.
+
+    Attributes:
+        system: System name that served the traffic.
+        offered: Batches the arrival process generated.
+        admitted: Batches admitted into the pipeline.
+        rejected: Batches dropped by the ``"reject"`` admission policy.
+        completed: Batches that finished all stages (== admitted).
+        measured: Batches past the warm-up prefix that the percentile /
+            SLA statistics are computed over.
+        warmup: Admitted batches excluded from the statistics.
+        duration_s: Virtual time from the first arrival to the last
+            departure.
+        throughput_bps: Completed batches per virtual second.
+        mean_latency: Mean end-to-end latency (arrival to final
+            departure) over the measured batches.
+        sla_seconds: The end-to-end SLA threshold in force.
+        sla_violation_rate: Fraction of measured batches whose
+            end-to-end latency exceeded ``sla_seconds``.
+        stage_percentiles: ``{stage: (p50, p95, p99)}`` residence time per
+            priced stage (queueing + service + blocking).
+        end_to_end: ``(p50, p95, p99)`` end-to-end latency.
+    """
+
+    system: str
+    offered: int
+    admitted: int
+    rejected: int
+    completed: int
+    measured: int
+    warmup: int
+    duration_s: float
+    throughput_bps: float
+    mean_latency: float
+    sla_seconds: float
+    sla_violation_rate: float
+    stage_percentiles: Dict[str, Tuple[float, float, float]]
+    end_to_end: Tuple[float, float, float]
+
+
+def format_serve_report(report: ServeReport) -> str:
+    """Render a :class:`ServeReport` as aligned tables.
+
+    Column labels follow the repo-wide convention of saying what the
+    number *is* (``mean_latency``, pXX) and which warm-up window produced
+    it, so the figure is self-describing.
+    """
+    from repro.analysis.report import banner, format_table
+
+    lines = [
+        banner(
+            f"Live replay — {report.system}, "
+            f"{report.offered} offered batches, warmup={report.warmup}"
+        )
+    ]
+    scale = 1e3  # seconds -> ms
+    stage_rows = [
+        [stage] + [f"{p * scale:.3f}" for p in percentiles]
+        for stage, percentiles in report.stage_percentiles.items()
+    ]
+    stage_rows.append(
+        ["end_to_end"] + [f"{p * scale:.3f}" for p in report.end_to_end]
+    )
+    lines.append(
+        format_table(
+            ["stage", "p50 ms", "p95 ms", "p99 ms"],
+            stage_rows,
+        )
+    )
+    lines.append(
+        format_table(
+            ["admitted", "rejected", "mean_latency ms",
+             "throughput/s", "SLA ms", "SLA violations"],
+            [[
+                str(report.admitted),
+                str(report.rejected),
+                f"{report.mean_latency * scale:.3f}",
+                f"{report.throughput_bps:.2f}",
+                f"{report.sla_seconds * scale:.3f}",
+                f"{report.sla_violation_rate:.4f}",
+            ]],
+        )
+    )
+    return "\n".join(lines)

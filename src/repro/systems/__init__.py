@@ -11,6 +11,7 @@ from repro.systems.base import (
     CPU_EMB_FORWARD,
     GPU_GROUP,
     BatchAccessStats,
+    InsufficientSteadyStateError,
     IterationBreakdown,
     StageTime,
     SystemRunResult,
@@ -31,7 +32,12 @@ from repro.systems.scratchpipe_system import (
     ScratchPipeTrainingRun,
     make_scratchpads,
 )
-from repro.systems.metrics import ThroughputReport, speedup, throughput_report
+from repro.systems.metrics import (
+    DegenerateLatencyError,
+    ThroughputReport,
+    speedup,
+    throughput_report,
+)
 from repro.systems.stages import CACHE_STAGES, cache_stage_times
 from repro.systems.static_cache import (
     SplitStats,
@@ -50,6 +56,7 @@ __all__ = [
     "CPU_EMB_FORWARD",
     "GPU_GROUP",
     "BatchAccessStats",
+    "InsufficientSteadyStateError",
     "IterationBreakdown",
     "StageTime",
     "SystemRunResult",
@@ -66,6 +73,7 @@ __all__ = [
     "ScratchPipeTrainer",
     "ScratchPipeTrainingRun",
     "make_scratchpads",
+    "DegenerateLatencyError",
     "ThroughputReport",
     "speedup",
     "throughput_report",

@@ -10,6 +10,7 @@ and a :class:`SystemRunResult` (wall-clock and energy per iteration).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -20,6 +21,18 @@ from repro.hardware.energy import CPU, GPU, EnergyModel, EnergySlice
 from repro.hardware.spec import HardwareSpec
 from repro.hardware.timing import CostModel
 from repro.model.config import ModelConfig
+
+class InsufficientSteadyStateError(ValueError):
+    """A run is too short for the requested warm-up window.
+
+    Raised by the steady-state reductions of :class:`SystemRunResult`
+    when ``len(values) <= warmup``: trimming would leave no steady-state
+    samples, and silently falling back to the full (warmup-contaminated)
+    series skews every latency/energy/throughput number built on top.
+    Callers that genuinely want the short-run mean opt in with
+    ``allow_short=True``.
+    """
+
 
 #: Stage-group labels used by Figures 5 and 12(a).
 CPU_EMB_FORWARD = "cpu_embedding_forward"
@@ -93,35 +106,62 @@ class SystemRunResult:
     iteration_times: List[float] = field(default_factory=list)
     energies: List[float] = field(default_factory=list)
 
-    def _steady(self, values: Sequence[float], warmup: int) -> np.ndarray:
-        steady = np.asarray(values[warmup:] if len(values) > warmup else values)
-        if steady.size == 0:
-            raise ValueError("no iterations recorded")
-        return steady
+    def _steady(self, values: Sequence, warmup: int, allow_short: bool):
+        """Trim the warm-up prefix, refusing to trim an entire run.
 
-    def mean_latency(self, warmup: int = 6) -> float:
+        Returns ``values[warmup:]`` — never the untrimmed series unless
+        the caller explicitly opted in with ``allow_short=True``, in
+        which case a warning flags that the "steady-state" numbers
+        include warm-up iterations.
+        """
+        if len(values) == 0:
+            raise InsufficientSteadyStateError("no iterations recorded")
+        if len(values) <= warmup:
+            if not allow_short:
+                raise InsufficientSteadyStateError(
+                    f"run has {len(values)} iterations but warmup={warmup}: "
+                    "no steady-state samples remain after trimming; pass "
+                    "allow_short=True to average the full (warmup-"
+                    "contaminated) series, or lower the warmup"
+                )
+            warnings.warn(
+                f"steady-state metrics over {len(values)} iterations "
+                f"include warm-up (warmup={warmup} >= run length)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return values
+        return values[warmup:]
+
+    def mean_latency(self, warmup: int = 6, allow_short: bool = False) -> float:
         """Mean steady-state iteration latency (seconds)."""
-        return float(self._steady(self.iteration_times, warmup).mean())
+        steady = self._steady(self.iteration_times, warmup, allow_short)
+        return float(np.asarray(steady).mean())
 
-    def mean_energy(self, warmup: int = 6) -> float:
+    def mean_energy(self, warmup: int = 6, allow_short: bool = False) -> float:
         """Mean steady-state energy per iteration (Joules)."""
-        return float(self._steady(self.energies, warmup).mean())
+        steady = self._steady(self.energies, warmup, allow_short)
+        return float(np.asarray(steady).mean())
 
-    def stage_means(self, warmup: int = 6) -> Dict[str, float]:
+    def stage_means(
+        self, warmup: int = 6, allow_short: bool = False
+    ) -> Dict[str, float]:
         """Mean per-stage latency at steady state (Figure 12 series)."""
-        steady = self.breakdowns[warmup:] if len(self.breakdowns) > warmup else self.breakdowns
-        sums: Dict[str, float] = {}
-        for breakdown in steady:
-            for name, seconds in breakdown.by_stage().items():
-                sums[name] = sums.get(name, 0.0) + seconds
-        return {k: v / len(steady) for k, v in sums.items()}
+        return self._breakdown_means("by_stage", warmup, allow_short)
 
-    def group_means(self, warmup: int = 6) -> Dict[str, float]:
+    def group_means(
+        self, warmup: int = 6, allow_short: bool = False
+    ) -> Dict[str, float]:
         """Mean per-group latency at steady state (Figure 5 series)."""
-        steady = self.breakdowns[warmup:] if len(self.breakdowns) > warmup else self.breakdowns
+        return self._breakdown_means("by_group", warmup, allow_short)
+
+    def _breakdown_means(
+        self, reduction: str, warmup: int, allow_short: bool
+    ) -> Dict[str, float]:
+        steady = self._steady(self.breakdowns, warmup, allow_short)
         sums: Dict[str, float] = {}
         for breakdown in steady:
-            for name, seconds in breakdown.by_group().items():
+            for name, seconds in getattr(breakdown, reduction)().items():
                 sums[name] = sums.get(name, 0.0) + seconds
         return {k: v / len(steady) for k, v in sums.items()}
 

@@ -16,6 +16,15 @@ from repro.model.config import ModelConfig
 from repro.systems.base import SystemRunResult
 
 
+class DegenerateLatencyError(ValueError):
+    """A steady-state latency of zero seconds cannot price throughput.
+
+    Raised by :func:`throughput_report` when the warmup-trimmed mean
+    iteration latency is not strictly positive — e.g. an empty-stage
+    metadata run — instead of surfacing a bare ``ZeroDivisionError``.
+    """
+
+
 @dataclass(frozen=True)
 class ThroughputReport:
     """Throughput/epoch metrics of one system on one workload.
@@ -59,6 +68,13 @@ def throughput_report(
         raise ValueError(f"dataset_samples must be >= 1, got {dataset_samples}")
     iteration = result.mean_latency(warmup=warmup)
     energy = result.mean_energy(warmup=warmup)
+    if iteration <= 0.0:
+        raise DegenerateLatencyError(
+            f"system {result.system!r} has non-positive mean iteration "
+            f"latency {iteration!r} over the steady state (warmup="
+            f"{warmup}, {len(result.iteration_times)} iterations); "
+            "throughput is undefined for a zero-latency run"
+        )
     epoch_iterations = -(-dataset_samples // config.batch_size)  # ceil div
     return ThroughputReport(
         system=result.system,

@@ -28,6 +28,7 @@ from repro.api.specs import (
     SystemSpec,
 )
 from repro.core.pipeline import (
+    PRICED_STAGE_OFFSETS,
     BatchCacheStats,
     HazardMonitor,
     ScratchPipePipeline,
@@ -47,9 +48,8 @@ from repro.model.optimizer import SGD
 from repro.systems.base import IterationBreakdown, SystemRunResult, TrainingSystem
 from repro.systems.stages import CACHE_STAGES, cache_stage_times
 
-#: Pipeline offsets of the priced stages (batch b is at stage s in cycle
-#: b + offset); Load is unpriced (overlapped host-side dataset reads).
-_STAGE_OFFSETS = {"plan": 1, "collect": 2, "exchange": 3, "insert": 4, "train": 5}
+#: Back-compat alias — the offsets now live in ``repro.core.pipeline``.
+_STAGE_OFFSETS = PRICED_STAGE_OFFSETS
 
 
 def _pipelined_cycle_times(

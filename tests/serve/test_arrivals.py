@@ -1,0 +1,179 @@
+"""Tests for seeded arrival processes (repro.serve.arrivals).
+
+Conformance follows the repo-wide generator contract: every seeded
+process ships with a goodness-of-fit test (chi-squared + KS at
+``alpha=1e-6``) against its configured model, plus a *power* check
+proving the test would catch a mis-scaled rate.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.conformance import chi_squared_gof, ks_gof
+from repro.serve.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    ArrivalSpecError,
+    ServeSpec,
+    arrival_times,
+    parse_arrivals,
+    unit_gaps,
+)
+
+#: Bins for the probability-integral-transform conformance tests.
+_BINS = 50
+
+
+def _uniform_bins(samples: np.ndarray) -> np.ndarray:
+    """Map Exp(1) samples onto integer bins of a uniform histogram."""
+    u = 1.0 - np.exp(-samples)
+    return np.minimum((u * _BINS).astype(np.int64), _BINS - 1)
+
+
+class TestArrivalSpecValidation:
+    def test_defaults_valid(self):
+        spec = ArrivalSpec()
+        assert spec.kind == "poisson"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "adversarial"},
+            {"rate": 0.0},
+            {"rate": -5.0},
+            {"rate": float("inf")},
+            {"kind": "bursty", "burst_factor": 0.5},
+            {"kind": "bursty", "burst_period": 0},
+            {"kind": "bursty", "burst_duration": 0},
+            {"kind": "bursty", "burst_period": 4, "burst_duration": 5},
+            {"kind": "diurnal", "amplitude": 1.0},
+            {"kind": "diurnal", "amplitude": -0.1},
+            {"kind": "diurnal", "diurnal_period": 1},
+        ],
+    )
+    def test_bad_fields_raise_named_error(self, kwargs):
+        with pytest.raises(ArrivalSpecError):
+            ArrivalSpec(**kwargs)
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(rate=-1.0)
+
+    def test_hashable_and_picklable(self):
+        for kind in ARRIVAL_KINDS:
+            spec = ArrivalSpec(kind=kind, rate=42.0)
+            assert hash(spec) == hash(ArrivalSpec(kind=kind, rate=42.0))
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestServeSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_depth": 0},
+            {"admission_depth": 0},
+            {"admission": "drop_all"},
+            {"sla_seconds": 0.0},
+            {"sla_factor": 0.0},
+        ],
+    )
+    def test_bad_fields_raise_named_error(self, kwargs):
+        with pytest.raises(ArrivalSpecError):
+            ServeSpec(**kwargs)
+
+    def test_hashable_and_picklable(self):
+        spec = ServeSpec(arrivals=ArrivalSpec(rate=10.0), admission="reject")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(
+            ServeSpec(arrivals=ArrivalSpec(rate=10.0), admission="reject")
+        )
+
+
+class TestParse:
+    def test_poisson(self):
+        assert parse_arrivals("poisson:250") == ArrivalSpec(
+            kind="poisson", rate=250.0
+        )
+
+    def test_bursty_positional_fields(self):
+        assert parse_arrivals("bursty:100:8:32:4") == ArrivalSpec(
+            kind="bursty", rate=100.0, burst_factor=8.0, burst_period=32,
+            burst_duration=4,
+        )
+
+    def test_diurnal_positional_fields(self):
+        assert parse_arrivals("diurnal:100:0.25:128") == ArrivalSpec(
+            kind="diurnal", rate=100.0, amplitude=0.25, diurnal_period=128
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        ["gaussian:10", "poisson", "poisson:abc", "poisson:10:3",
+         "bursty:10:2:4:1:9", "diurnal:10:0.5:64:9", "bursty:-3"],
+    )
+    def test_bad_strings_raise(self, text):
+        with pytest.raises(ArrivalSpecError):
+            parse_arrivals(text)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert np.array_equal(unit_gaps(3, 100), unit_gaps(3, 100))
+
+    def test_different_seed_different_stream(self):
+        assert not np.array_equal(unit_gaps(3, 100), unit_gaps(4, 100))
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_prefix_property(self, kind):
+        """The first k arrivals never depend on how many are generated."""
+        spec = ArrivalSpec(kind=kind, rate=100.0)
+        long = arrival_times(spec, seed=5, n=64)
+        short = arrival_times(spec, seed=5, n=16)
+        assert np.array_equal(long[:16], short)
+
+    def test_times_strictly_increase(self):
+        times = arrival_times(ArrivalSpec(rate=1000.0), seed=2, n=512)
+        assert np.all(np.diff(times) > 0)
+
+    def test_mean_gap_tracks_rate(self):
+        times = arrival_times(ArrivalSpec(rate=200.0), seed=0, n=20_000)
+        mean_gap = float(times[-1]) / 20_000
+        assert mean_gap == pytest.approx(1.0 / 200.0, rel=0.05)
+
+
+class TestConformance:
+    def test_unit_gaps_are_exponential(self):
+        bins = _uniform_bins(unit_gaps(11, 20_000))
+        counts = np.bincount(bins, minlength=_BINS)
+        probs = np.full(_BINS, 1.0 / _BINS)
+        assert chi_squared_gof(counts, probs).ok
+        assert ks_gof(bins, np.arange(1, _BINS + 1) / _BINS).ok
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_rate_inversion_recovers_unit_exponential(self, kind):
+        """Gaps times the per-index rate must be Exp(1) for every kind."""
+        spec = ArrivalSpec(kind=kind, rate=300.0)
+        n = 20_000
+        times = arrival_times(spec, seed=9, n=n)
+        gaps = np.diff(times, prepend=0.0)
+        bins = _uniform_bins(gaps * spec.rates(np.arange(n)))
+        assert ks_gof(bins, np.arange(1, _BINS + 1) / _BINS).ok
+
+    def test_power_wrong_poisson_rate_fails_ks(self):
+        """The test has teeth: a 30% rate mis-scale is rejected."""
+        n = 20_000
+        times = arrival_times(ArrivalSpec(rate=300.0), seed=9, n=n)
+        gaps = np.diff(times, prepend=0.0)
+        bins = _uniform_bins(gaps * 390.0)  # wrong rate: 1.3x
+        assert not ks_gof(bins, np.arange(1, _BINS + 1) / _BINS).ok
+
+    def test_bursty_bursts_are_actually_faster(self):
+        spec = ArrivalSpec(kind="bursty", rate=100.0, burst_factor=10.0,
+                           burst_period=16, burst_duration=8)
+        n = 16_000
+        times = arrival_times(spec, seed=1, n=n)
+        gaps = np.diff(times, prepend=0.0)
+        in_burst = (np.arange(n) % 16) < 8
+        assert gaps[in_burst].mean() < 0.2 * gaps[~in_burst].mean()

@@ -1,0 +1,143 @@
+"""Serve metric through the sweep runner: parallelism, checkpoint, codec."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup, serve_latency_grid
+from repro.analysis.sweep import (
+    CheckpointJournal,
+    _decode_result,
+    _encode_result,
+    point_key,
+    run_grid,
+    run_point,
+)
+from repro.model.config import tiny_config
+from repro.serve import ArrivalSpec, ServeReport, ServeSpec
+from repro.testing.faults import FaultSpec, injected_faults
+
+
+@pytest.fixture
+def setup():
+    cfg = tiny_config(
+        rows_per_table=20_000, batch_size=8, lookups_per_table=2, num_tables=2
+    )
+    return ExperimentSetup(config=cfg, num_batches=10, seed=1)
+
+
+def serve_grid(setup):
+    points = []
+    for rate in (5.0, 5000.0):
+        for locality in ("random", "high"):
+            points.append(
+                setup.point(
+                    "scratchpipe", locality, 0.05, 2, metric="serve",
+                    arrivals=ArrivalSpec(rate=rate),
+                )
+            )
+    return points
+
+
+class TestPointValidation:
+    def test_serve_metric_needs_arrivals(self, setup):
+        with pytest.raises(ValueError, match="needs an arrival process"):
+            setup.point("scratchpipe", "random", 0.05, 2, metric="serve")
+
+    def test_arrivals_forbidden_on_scalar_metrics(self, setup):
+        with pytest.raises(ValueError, match="only apply to the 'serve'"):
+            setup.point("scratchpipe", "random", 0.05, 2,
+                        metric="mean_latency", arrivals=ArrivalSpec())
+
+    def test_serve_metric_is_scratchpipe_only(self, setup):
+        with pytest.raises(ValueError, match="not defined for 'hybrid'"):
+            setup.point("hybrid", "random", 0.0, 2, metric="serve",
+                        arrivals=ArrivalSpec())
+
+    def test_full_serve_spec_takes_precedence(self, setup):
+        spec = ServeSpec(arrivals=ArrivalSpec(rate=7.0), queue_depth=2)
+        point = setup.point("scratchpipe", "random", 0.05, 2, metric="serve",
+                            arrivals=ArrivalSpec(rate=99.0), serve=spec)
+        assert point.resolved_serve == spec
+
+
+class TestExecution:
+    def test_run_point_returns_a_report(self, setup):
+        report = run_point(serve_grid(setup)[0])
+        assert isinstance(report, ServeReport)
+        assert report.measured == report.admitted - 2
+        assert report.end_to_end[0] > 0
+
+    def test_workers_bit_identical(self, setup, shm_leak_check):
+        points = serve_grid(setup)
+        serial = run_grid(points, workers=1)
+        parallel = run_grid(points, workers=2)
+        assert serial == parallel
+
+    def test_rate_actually_changes_the_tail(self, setup):
+        points = serve_grid(setup)
+        idle, slammed = run_grid([points[0], points[2]], workers=1)
+        assert slammed.end_to_end[2] > idle.end_to_end[2]
+
+
+class TestCheckpoint:
+    def test_report_codec_round_trips_exactly(self, setup):
+        report = run_point(serve_grid(setup)[0])
+        wire = json.loads(json.dumps(_encode_result(report)))
+        assert _decode_result(wire) == report
+
+    def test_resume_is_bit_identical(self, setup, tmp_path):
+        points = serve_grid(setup)
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "serve.jsonl"
+        run_grid(points, workers=1, checkpoint=journal_path)
+        assert set(CheckpointJournal(journal_path).load()) == {
+            point_key(p) for p in points
+        }
+        report = run_grid(points, workers=1, checkpoint=journal_path,
+                          report=True)
+        assert report.resumed == len(points)
+        assert report.completed == 0
+        assert report.results == expected
+
+    def test_interrupted_run_resumes_identically(self, setup, tmp_path,
+                                                 shm_leak_check):
+        """PR 7's acceptance criterion holds for the serve metric too:
+        interrupt mid-grid, resume, bit-identical reports."""
+        points = serve_grid(setup)
+        expected = run_grid(points, workers=1)
+        journal_path = tmp_path / "serve.jsonl"
+        with injected_faults(
+            FaultSpec(site="sweep.point", mode="raise", after=2),
+            state_dir=tmp_path / "faults",
+        ):
+            with pytest.raises(Exception, match="injected fault"):
+                run_grid(points, workers=1, checkpoint=journal_path)
+            assert len(CheckpointJournal(journal_path).load()) == 2
+            report = run_grid(points, workers=1, checkpoint=journal_path,
+                              report=True)
+        assert report.resumed == 2
+        assert report.results == expected
+
+
+class TestServeLatencyGrid:
+    def test_grid_axes_and_cell_types(self, setup):
+        grid = serve_latency_grid(
+            ArrivalSpec(rate=5.0),
+            setup=setup,
+            cache_fractions=(0.02, 0.05),
+            rates=(5.0, 5000.0),
+            locality="random",
+        )
+        assert set(grid) == {(0.02, 5.0), (0.02, 5000.0),
+                             (0.05, 5.0), (0.05, 5000.0)}
+        for (_, rate), report in grid.items():
+            assert isinstance(report, ServeReport)
+        # The rate axis is real: same fraction, higher rate, fatter tail.
+        assert (grid[(0.05, 5000.0)].end_to_end[2]
+                > grid[(0.05, 5.0)].end_to_end[2])
+
+    def test_default_rate_axis_is_the_base_rate(self, setup):
+        grid = serve_latency_grid(ArrivalSpec(rate=5.0), setup=setup,
+                                  locality="random")
+        assert set(grid) == {(0.02, 5.0)}

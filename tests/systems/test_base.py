@@ -8,6 +8,7 @@ from repro.hardware.energy import CPU, GPU, EnergyModel
 from repro.model.config import tiny_config
 from repro.systems.base import (
     BatchAccessStats,
+    InsufficientSteadyStateError,
     IterationBreakdown,
     StageTime,
     SystemRunResult,
@@ -61,13 +62,49 @@ class TestSystemRunResult:
         result = SystemRunResult(system="x", iteration_times=[10.0] * 3 + [1.0] * 5)
         assert result.mean_latency(warmup=3) == pytest.approx(1.0)
 
-    def test_short_runs_use_everything(self):
+    def test_short_run_raises_named_error(self):
+        # Regression: a 5-iteration run with warmup=6 used to silently
+        # return the warmup-contaminated full-series mean (here 10.0
+        # instead of a steady-state value) — it must raise instead.
+        result = SystemRunResult(
+            system="x", iteration_times=[22.0, 12.0, 8.0, 4.0, 4.0]
+        )
+        with pytest.raises(InsufficientSteadyStateError, match="warmup=6"):
+            result.mean_latency(warmup=6)
+
+    def test_short_run_error_is_a_value_error(self):
         result = SystemRunResult(system="x", iteration_times=[2.0, 4.0])
-        assert result.mean_latency(warmup=6) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            result.mean_latency(warmup=6)
+
+    def test_allow_short_opts_back_in_with_warning(self):
+        result = SystemRunResult(system="x", iteration_times=[2.0, 4.0])
+        with pytest.warns(RuntimeWarning, match="include warm-up"):
+            value = result.mean_latency(warmup=6, allow_short=True)
+        assert value == pytest.approx(3.0)
+
+    def test_short_run_raises_for_every_reduction(self):
+        result = SystemRunResult(
+            system="x",
+            iteration_times=[1.0, 2.0],
+            energies=[5.0, 6.0],
+            breakdowns=[
+                IterationBreakdown(stages=(cpu_stage("a", "g", t),))
+                for t in (1.0, 2.0)
+            ],
+        )
+        for reduction in (result.mean_latency, result.mean_energy,
+                          result.stage_means, result.group_means):
+            with pytest.raises(InsufficientSteadyStateError):
+                reduction(warmup=2)
 
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             SystemRunResult(system="x").mean_latency()
+
+    def test_empty_raises_even_with_allow_short(self):
+        with pytest.raises(InsufficientSteadyStateError):
+            SystemRunResult(system="x").mean_latency(allow_short=True)
 
     def test_stage_means(self):
         result = SystemRunResult(

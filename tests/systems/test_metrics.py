@@ -5,7 +5,12 @@ import pytest
 from repro.hardware.spec import P3_2XLARGE
 from repro.model.config import ModelConfig
 from repro.systems.base import SystemRunResult
-from repro.systems.metrics import ThroughputReport, speedup, throughput_report
+from repro.systems.metrics import (
+    DegenerateLatencyError,
+    ThroughputReport,
+    speedup,
+    throughput_report,
+)
 
 
 @pytest.fixture
@@ -37,6 +42,27 @@ class TestThroughputReport:
     def test_dataset_size_validated(self, result):
         with pytest.raises(ValueError):
             throughput_report(result, ModelConfig(), dataset_samples=0)
+
+    def test_zero_latency_raises_named_error(self):
+        # A degenerate run (e.g. empty-stage metadata pricing) used to
+        # surface as a bare ZeroDivisionError from the samples/s division.
+        result = SystemRunResult(
+            system="degenerate",
+            iteration_times=[0.0] * 10,
+            energies=[0.0] * 10,
+        )
+        with pytest.raises(DegenerateLatencyError,
+                           match="degenerate.*warmup=3"):
+            throughput_report(result, ModelConfig(), dataset_samples=100,
+                              warmup=3)
+
+    def test_zero_latency_error_is_a_value_error(self):
+        result = SystemRunResult(
+            system="z", iteration_times=[0.0] * 5, energies=[0.0] * 5
+        )
+        with pytest.raises(ValueError):
+            throughput_report(result, ModelConfig(), dataset_samples=10,
+                              warmup=0)
 
     def test_epoch_cost(self, result):
         report = throughput_report(result, ModelConfig(),

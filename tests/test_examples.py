@@ -68,6 +68,14 @@ class TestFastExamples:
         assert "weights bit-identical to reference:      True" in out
         assert "accumulators bit-identical to reference: True" in out
 
+    def test_live_replay(self, capsys):
+        run_example("live_replay.py", ["--batches", "16"])
+        out = capsys.readouterr().out
+        assert "p50 ms" in out and "p99 ms" in out
+        assert "end_to_end" in out
+        assert "replay deterministic (rerun identical): True" in out
+        assert "load shedding bounds the tail" in out
+
     def test_locality_study(self, capsys):
         run_example("locality_study.py")
         out = capsys.readouterr().out
@@ -86,6 +94,7 @@ class TestExampleFilesPresent:
         "adagrad_training.py",
         "workload_analysis.py",
         "heterogeneous_caches.py",
+        "live_replay.py",
     ])
     def test_exists_and_has_docstring(self, name):
         path = EXAMPLES / name
