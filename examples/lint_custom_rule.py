@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Extend repro.lint with a project-specific rule.
+
+The linter's registry is the same plugin pattern as ``repro.api``'s
+``@register_system``: subclass :class:`~repro.lint.LintRule`, decorate it
+with :func:`~repro.lint.register_rule` (or ship it as a
+``"repro.lint_rules"`` entry point), and every engine entry — the
+:func:`~repro.lint.lint_paths` API, ``python -m repro.lint`` and
+``repro.cli lint`` — enforces it alongside the builtins.
+
+The demo rule bans ``print()`` in library code (reports belong in the
+reporting layer, not buried in simulators), lints an offending snippet,
+and shows the same inline-suppression workflow the builtin rules use:
+silencing the rule requires a ``-- <why>`` justification.
+
+Run:  python examples/lint_custom_rule.py
+"""
+
+import ast
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintRule, lint_paths, register_rule
+
+
+@register_rule
+class NoPrintRule(LintRule):
+    """Library modules must not print; return data, let reporters render."""
+
+    name = "example-no-print"
+    description = "print() in library code bypasses the reporting layer"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield module.finding(
+                    node, self.name,
+                    "print() in library code; return the value and let "
+                    "the reporting layer render it",
+                )
+
+
+SNIPPET = """\
+def simulate(steps):
+    total = 0.0
+    for step in range(steps):
+        total += step * 0.5
+        print("step", step, total)
+    # repro-lint: disable=example-no-print -- final summary is this
+    # demo module's only user-facing output.
+    print("done:", total)
+    return total
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        target = root / "sim.py"
+        target.write_text(textwrap.dedent(SNIPPET))
+
+        run = lint_paths([target], select=["example-no-print"], root=root)
+
+        print(f"linted {run.files} file with rule "
+              f"{NoPrintRule.name!r}: {len(run.findings)} finding, "
+              f"{len(run.suppressed)} suppressed")
+        for found in run.findings:
+            print(f"  {found.location()}: [{found.rule}] {found.message}")
+        for found in run.suppressed:
+            print(f"  {found.location()}: suppressed with justification")
+
+        assert len(run.findings) == 1, "the loop print must be flagged"
+        assert len(run.suppressed) == 1, "the justified print is silenced"
+        assert run.findings[0].line == 5
+    print("custom rule enforced:  True")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.errors import ExperimentConfigError
 from repro.hardware.spec import AwsInstance, P3_2XLARGE, P3_16XLARGE
 
 #: Iteration count Table I prices (1 million).
@@ -25,11 +26,11 @@ def training_cost(
 ) -> float:
     """Dollars to run ``iterations`` at ``iteration_time_s`` per iteration."""
     if iteration_time_s <= 0:
-        raise ValueError(
+        raise ExperimentConfigError(
             f"iteration_time_s must be positive, got {iteration_time_s}"
         )
     if iterations < 1:
-        raise ValueError(f"iterations must be >= 1, got {iterations}")
+        raise ExperimentConfigError(f"iterations must be >= 1, got {iterations}")
     hours = iteration_time_s * iterations / 3600.0
     return instance.price_per_hour * hours
 

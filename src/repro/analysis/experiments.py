@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ExperimentConfigError
 from repro.analysis.cost import CostRow, multi_gpu_row, scratchpipe_row
 from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
 from repro.analysis.sweep import SweepPoint, run_grid
@@ -106,7 +107,7 @@ class ExperimentSetup:
             and self.scenario is not None
             and not self.scenario.is_stationary
         ):
-            raise ValueError(
+            raise ExperimentConfigError(
                 "a file-backed trace replays recorded batches; scenario "
                 "processes cannot be applied on top — drop one of "
                 "trace_file / scenario"
@@ -393,7 +394,7 @@ def _reject_file_trace(base: "ExperimentSetup", what: str) -> None:
     file cannot follow them — fail loudly instead of silently reverting
     to synthetic traces."""
     if base.trace_file is not None:
-        raise ValueError(
+        raise ExperimentConfigError(
             f"{what} sweeps the model geometry; the file-backed trace "
             f"{base.trace_file.path!r} has a fixed geometry and cannot "
             "follow it — drop ExperimentSetup.trace_file"

@@ -12,6 +12,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.errors import ExperimentConfigError
 from repro.data.datasets import DATASET_PROFILES, DatasetProfile
 from repro.data.distributions import AccessDistribution
 from repro.data.trace import SyntheticDataset
@@ -27,7 +28,7 @@ def access_count_curve(
     This is the quantity Figure 3 plots (descending access count by rank).
     """
     if total_accesses < 1:
-        raise ValueError(f"total_accesses must be >= 1, got {total_accesses}")
+        raise ExperimentConfigError(f"total_accesses must be >= 1, got {total_accesses}")
     return distribution.sorted_pdf(n_points) * total_accesses
 
 
@@ -65,7 +66,7 @@ def empirical_hit_rate(
     Validates the analytic curves against actual sampled traces.
     """
     if not 0.0 <= cache_fraction <= 1.0:
-        raise ValueError(
+        raise ExperimentConfigError(
             f"cache_fraction must be in [0, 1], got {cache_fraction}"
         )
     hot_rows = int(cache_fraction * dataset.config.rows_per_table)

@@ -7,6 +7,7 @@ these helpers keep that output consistent and readable in CI logs.
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
+from repro.errors import ExperimentConfigError
 
 
 def format_table(
@@ -17,7 +18,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in materialised:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ExperimentConfigError(
                 f"row has {len(row)} cells but table has {len(headers)} columns"
             )
         for i, cell in enumerate(row):
@@ -33,7 +34,7 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[float],
                   y_format: str = "{:.3f}") -> str:
     """Render one figure series as ``name: x=y, x=y, ...``."""
     if len(xs) != len(ys):
-        raise ValueError(f"xs ({len(xs)}) and ys ({len(ys)}) length mismatch")
+        raise ExperimentConfigError(f"xs ({len(xs)}) and ys ({len(ys)}) length mismatch")
     pairs = ", ".join(
         f"{x}={y_format.format(y)}" for x, y in zip(xs, ys)
     )

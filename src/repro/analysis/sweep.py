@@ -67,9 +67,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import itertools
 import random
 import time
-import uuid
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -81,7 +81,6 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from functools import lru_cache
-from multiprocessing import shared_memory
 from pathlib import Path
 from typing import (
     Any,
@@ -97,6 +96,16 @@ from typing import (
 
 import numpy as np
 
+from repro._env import read_env, write_env
+from repro.errors import SweepConfigError
+from repro.analysis.shm import (
+    _PublishedTraces,
+    _SHM_ATTACHED,
+    _SHM_MANIFEST,
+    attach_shared_trace as _attach_shared_trace,
+    install_manifest,
+    publish_trace,
+)
 from repro.api.factory import build_system
 from repro.api.specs import SystemSpec, uniform_system_spec
 from repro.data.io import TraceFileSpec, materialise_cached
@@ -149,10 +158,9 @@ TraceKey = Tuple[
     Optional[TraceFileSpec],
 ]
 
-#: Worker-global registry of shared-memory traces: key -> (name, shape).
-_SHM_MANIFEST: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
-#: Attached segments, pinned so the zero-copy batch views stay valid.
-_SHM_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+#: Per-process counter naming trace-generation marker files (pid + a
+#: monotone index is unique without reaching for ambient entropy).
+_GEN_MARKER_IDS = itertools.count()
 
 
 # ----------------------------------------------------------------------
@@ -247,41 +255,41 @@ class SweepPoint:
             and self.scenario is not None
             and not self.scenario.is_stationary
         ):
-            raise ValueError(
+            raise SweepConfigError(
                 "a file-backed sweep point replays recorded batches; "
                 "scenario processes cannot be applied on top"
             )
         if self.system_spec is not None:
             if self.system != self.system_spec.system:
-                raise ValueError(
+                raise SweepConfigError(
                     f"point names system {self.system!r} but its spec "
                     f"names {self.system_spec.system!r}"
                 )
         elif self.system not in SYSTEMS:
-            raise ValueError(
+            raise SweepConfigError(
                 f"unknown system {self.system!r}; expected one of {SYSTEMS} "
                 "(or attach a system_spec for registered/plugin systems)"
             )
         if self.metric not in METRICS:
-            raise ValueError(
+            raise SweepConfigError(
                 f"unknown metric {self.metric!r}; expected one of {METRICS}"
             )
         if (
             self.metric in _STREAMING_METRICS + (_SERVE_METRIC,)
             and self.system != "scratchpipe"
         ):
-            raise ValueError(
+            raise SweepConfigError(
                 f"the {self.metric} metric streams the ScratchPipe metadata "
                 f"pipeline and is not defined for {self.system!r}"
             )
         if self.metric == _SERVE_METRIC:
             if self.arrivals is None and self.serve is None:
-                raise ValueError(
+                raise SweepConfigError(
                     "the serve metric needs an arrival process: set "
                     "point.arrivals (ArrivalSpec) or point.serve (ServeSpec)"
                 )
         elif self.arrivals is not None or self.serve is not None:
-            raise ValueError(
+            raise SweepConfigError(
                 f"arrivals/serve specs only apply to the {_SERVE_METRIC!r} "
                 f"metric, not {self.metric!r}"
             )
@@ -354,10 +362,12 @@ def point_key(point: SweepPoint) -> str:
 
 
 def _log_trace_generation(key: TraceKey) -> None:
-    log_dir = os.environ.get(TRACE_GEN_LOG_ENV)
+    log_dir = read_env(TRACE_GEN_LOG_ENV)
     if not log_dir:
         return
-    marker = os.path.join(log_dir, f"gen-{os.getpid()}-{uuid.uuid4().hex}")
+    marker = os.path.join(
+        log_dir, f"gen-{os.getpid()}-{next(_GEN_MARKER_IDS)}"
+    )
     with open(marker, "w", encoding="utf-8") as fh:
         fh.write(repr(key))
 
@@ -378,41 +388,6 @@ def _generate_trace(key: TraceKey) -> MaterialisedDataset:
     )
 
 
-def _attach_shared_trace(key: TraceKey) -> Optional[MaterialisedDataset]:
-    """Map a parent-published trace segment into zero-copy batches."""
-    entry = _SHM_MANIFEST.get(key)
-    if entry is None:
-        return None
-    name, shape = entry
-    if name in _SHM_ATTACHED:
-        segment = _SHM_ATTACHED[name]
-    else:
-        segment = shared_memory.SharedMemory(name=name)
-        # The parent owns the segment's lifetime.  Under the spawn start
-        # method each worker has its own resource tracker which would
-        # tear the segment down (or warn) at worker exit, so the attach is
-        # unregistered there (fixed upstream in 3.13 via track=False).
-        # Under fork the tracker process is shared with the parent and its
-        # registrations form a set — the worker's duplicate register is a
-        # no-op and unregistering would cancel the parent's entry.
-        try:  # pragma: no cover - depends on interpreter internals
-            import multiprocessing
-
-            if multiprocessing.get_start_method(allow_none=True) != "fork":
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(segment._name, "shared_memory")
-        except Exception:
-            pass
-        _SHM_ATTACHED[name] = segment
-    stacked = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
-    config = key[0]
-    batches = [
-        MiniBatch(index=i, sparse_ids=stacked[i]) for i in range(shape[0])
-    ]
-    return MaterialisedDataset.from_batches(config, batches)
-
-
 @lru_cache(maxsize=8)
 def _cached_trace(key: TraceKey) -> MaterialisedDataset:
     """Resolve (and memoise, per process) one benchmark trace.
@@ -425,7 +400,7 @@ def _cached_trace(key: TraceKey) -> MaterialisedDataset:
     if shared is not None:
         return shared
     config, locality, seed, num_batches, scenario, trace_file = key
-    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    cache_dir = read_env(TRACE_CACHE_ENV)
     if cache_dir and trace_file is None and (
         scenario is None or scenario.is_stationary
     ):
@@ -486,8 +461,8 @@ def _worker_init(
     manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
 ) -> None:
     if cache_dir:
-        os.environ[TRACE_CACHE_ENV] = cache_dir
-    _SHM_MANIFEST.update(manifest)
+        write_env(TRACE_CACHE_ENV, cache_dir)
+    install_manifest(manifest)
     # Under the fork start method the worker inherits the parent's memo
     # caches — including any traces the parent materialised while
     # publishing shared memory.  Drop them so workers resolve traces
@@ -509,7 +484,7 @@ def _disk_cacheable(key: TraceKey) -> bool:
 def _publish_shared_traces(
     points: Sequence[SweepPoint],
     manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
-    segments: List[shared_memory.SharedMemory],
+    segments: List[Any],
     skip_disk_cacheable: bool,
 ) -> None:
     """Materialise each unique trace once and publish it in shared memory.
@@ -521,7 +496,9 @@ def _publish_shared_traces(
     one worker would have done — and every worker maps, rather than
     copies, the result.  With ``skip_disk_cacheable`` (an explicit
     ``REPRO_TRACE_CACHE``), only the keys the disk cache *cannot* serve —
-    non-stationary scenario traces — are published.
+    non-stationary scenario traces — are published.  The raw segment
+    handling lives in :mod:`repro.analysis.shm` (the one module allowed
+    to touch ``multiprocessing.shared_memory``).
     """
     for point in points:
         key = point.trace_key
@@ -529,71 +506,7 @@ def _publish_shared_traces(
             continue
         if skip_disk_cacheable and _disk_cacheable(key):
             continue
-        trace = _cached_trace(key)
-        first = trace.batch(0)
-        if first.dense is not None:
-            # Sweep traces are ID-only today; a dense-bearing trace falls
-            # back to per-worker regeneration rather than silently
-            # publishing a sparse-only copy.
-            continue
-        # Fill the segment batch-by-batch: stacking first would briefly
-        # hold a second full copy of the trace in the parent.
-        shape = (len(trace),) + first.sparse_ids.shape
-        nbytes = int(np.prod(shape)) * np.dtype(np.int64).itemsize
-        segment = shared_memory.SharedMemory(create=True, size=nbytes)
-        segments.append(segment)
-        view = np.ndarray(shape, dtype=np.int64, buffer=segment.buf)
-        for i in range(len(trace)):
-            view[i] = trace.batch(i).sparse_ids
-        # Drop the numpy view before the segment can be closed: a live
-        # export of ``segment.buf`` turns ``close()`` into a BufferError.
-        del view
-        manifest[key] = (segment.name, shape)
-
-
-class _PublishedTraces:
-    """Exception-safe owner of one grid run's shared-memory segments.
-
-    The previous lifecycle was a ``try/finally`` whose per-segment
-    ``except OSError`` aborted the loop on any *other* exception (e.g. the
-    ``BufferError`` a still-exported memoryview raises from ``close()``),
-    orphaning every later segment.  Here release is unconditional:
-    each segment gets an independent close and unlink attempt on every
-    exit path — mid-publish failures, worker crashes, quarantined grids —
-    and one failure never skips the rest.
-    """
-
-    def __init__(self) -> None:
-        self.manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]] = {}
-        self.segments: List[shared_memory.SharedMemory] = []
-
-    def publish(
-        self, points: Sequence[SweepPoint], skip_disk_cacheable: bool
-    ) -> None:
-        """Publish the grid's unique traces (idempotent per trace key)."""
-        _publish_shared_traces(
-            points, self.manifest, self.segments, skip_disk_cacheable
-        )
-
-    def release(self) -> None:
-        """Close and unlink every published segment; never raises."""
-        segments, self.segments = self.segments, []
-        self.manifest.clear()
-        for segment in segments:
-            try:
-                segment.close()
-            except Exception:  # pragma: no cover - close is best-effort
-                pass
-            try:
-                segment.unlink()
-            except Exception:  # pragma: no cover - already unlinked
-                pass
-
-    def __enter__(self) -> "_PublishedTraces":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.release()
+        publish_trace(key, _cached_trace(key), manifest, segments)
 
 
 # ----------------------------------------------------------------------
@@ -767,6 +680,9 @@ class GridOptions:
 
 
 #: Ambient defaults, overridable per-call or via :func:`grid_options`.
+# repro-lint: disable=worker-capture -- parent-only knob: run_grid reads
+# it once before dispatch and ships the resolved GridOptions to workers;
+# workers never consult the ambient value.
 _AMBIENT_OPTIONS = GridOptions()
 
 
@@ -911,7 +827,7 @@ def run_grid(
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
-        raise ValueError(f"workers must be >= 1 (or None), got {workers}")
+        raise SweepConfigError(f"workers must be >= 1 (or None), got {workers}")
     grid = _run_grid(
         points, workers, options, clock, sleep, rng or random.Random(0)
     )
@@ -1013,7 +929,7 @@ def _run_grid_parallel(
     rng: random.Random,
 ) -> None:
     """The resilient scheduler: dispatch, recover, retry, quarantine."""
-    cache_dir = os.environ.get(TRACE_CACHE_ENV)
+    cache_dir = read_env(TRACE_CACHE_ENV)
     attempts: Dict[int, int] = {}
     retry_at: Dict[int, float] = {}
     queue = deque(pending)
@@ -1046,8 +962,10 @@ def _run_grid_parallel(
         retry_at[index] = clock() + delay
 
     with _PublishedTraces() as shared:
-        shared.publish(
+        _publish_shared_traces(
             [points[i] for i in pending],
+            shared.manifest,
+            shared.segments,
             skip_disk_cacheable=bool(cache_dir),
         )
         # The parent runs no points itself when workers > 1; dropping its

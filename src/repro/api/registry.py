@@ -67,7 +67,12 @@ class SystemEntry:
     description: str = ""
 
 
+# repro-lint: disable=worker-capture -- import-time registry: populated
+# by decorators when repro.systems imports, so every process (parent or
+# spawn worker) rebuilds the identical mapping on first import.
 _SYSTEMS: Dict[str, SystemEntry] = {}
+# repro-lint: disable=worker-capture -- one-shot discovery latch; each
+# process runs its own entry-point scan, which is idempotent.
 _discovered = False
 
 

@@ -571,6 +571,16 @@ def cmd_hetero(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_lint(args: argparse.Namespace) -> None:
+    """Run the AST invariant linter (same engine as python -m repro.lint)."""
+    _reject_scenario_flags(args, "lint (static analysis, no workload)")
+    from repro.lint.cli import run_lint
+
+    code = run_lint(args)
+    if code:
+        raise SystemExit(code)
+
+
 def cmd_validate(args: argparse.Namespace) -> None:
     """Cross-validate the analytic model against the functional simulator."""
     _reject_scenario_flags(args, "validate (fixed cross-check workloads)")
@@ -898,6 +908,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="model-vs-simulator cross-checks")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("lint",
+                       help="AST invariant linter (determinism, "
+                            "spec-purity, error taxonomy, shm/env "
+                            "discipline)")
+    from repro.lint.cli import build_parser as _build_lint_parser
+    _build_lint_parser(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("timeline", help="pipeline schedule + utilisation")
     p.add_argument("--locality", default="random")

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
+from repro.errors import HitMapConfigError, UncachedKeyError
 
 #: Sentinel meaning "no key cached in this slot" / "key not cached".
 EMPTY = -1
@@ -45,9 +46,9 @@ class HitMap:
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
-            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+            raise HitMapConfigError(f"num_slots must be >= 1, got {self.num_slots}")
         if self.num_rows < 1:
-            raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
+            raise HitMapConfigError(f"num_rows must be >= 1, got {self.num_rows}")
         # int32 slots: caches beyond 2**31 rows are far past GPU capacity.
         self._slot_of_key = np.full(self.num_rows, EMPTY, dtype=np.int32)
         self._key_of_slot = np.full(self.num_slots, EMPTY, dtype=np.int64)
@@ -98,7 +99,7 @@ class HitMap:
         """
         if presorted_unique:
             if keys.size and (keys[0] < 0 or keys[-1] >= self.num_rows):
-                raise ValueError(
+                raise HitMapConfigError(
                     f"key out of range [0, {self.num_rows}): "
                     f"[{int(keys[0])}, {int(keys[-1])}]"
                 )
@@ -107,7 +108,7 @@ class HitMap:
             if keys.size and (
                 int(keys.min()) < 0 or int(keys.max()) >= self.num_rows
             ):
-                raise ValueError(
+                raise HitMapConfigError(
                     f"key out of range [0, {self.num_rows}): "
                     f"min {int(keys.min())}, max {int(keys.max())}"
                 )
@@ -126,7 +127,7 @@ class HitMap:
         """
         if presorted_unique:
             if keys.size and (keys[0] < 0 or keys[-1] >= self.num_rows):
-                raise ValueError(
+                raise HitMapConfigError(
                     f"key out of range [0, {self.num_rows}): "
                     f"[{int(keys[0])}, {int(keys[-1])}]"
                 )
@@ -135,7 +136,7 @@ class HitMap:
             if keys.size and (
                 int(keys.min()) < 0 or int(keys.max()) >= self.num_rows
             ):
-                raise ValueError(
+                raise HitMapConfigError(
                     f"key out of range [0, {self.num_rows}): "
                     f"min {int(keys.min())}, max {int(keys.max())}"
                 )
@@ -166,18 +167,18 @@ class HitMap:
         keys = np.asarray(keys, dtype=np.int64)
         slots = np.asarray(slots, dtype=np.int64)
         if keys.shape != slots.shape:
-            raise ValueError(
+            raise HitMapConfigError(
                 f"keys {keys.shape} and slots {slots.shape} length mismatch"
             )
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
         if validate:
             if (self._slot_of_key[keys] != EMPTY).any():
-                raise ValueError(
+                raise HitMapConfigError(
                     "some keys are already cached; query before assign"
                 )
             if slots.min() < 0 or slots.max() >= self.num_slots:
-                raise ValueError(f"slot index out of range [0, {self.num_slots})")
+                raise HitMapConfigError(f"slot index out of range [0, {self.num_slots})")
         # Fancy indexing already yields a fresh array — safe to hand out.
         displaced = self._key_of_slot[slots]
         valid = displaced != EMPTY
@@ -226,5 +227,5 @@ class HitMap:
         """Slots of keys that are known to be cached (raises otherwise)."""
         slots, hits = self.query(keys)
         if not hits.all():
-            raise KeyError("some keys are not cached")
+            raise UncachedKeyError("some keys are not cached")
         return slots

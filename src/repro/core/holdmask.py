@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from repro.errors import HoldMaskConfigError
 
 
 @dataclass
@@ -62,9 +63,9 @@ class HoldMask:
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
-            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+            raise HoldMaskConfigError(f"num_slots must be >= 1, got {self.num_slots}")
         if not 0 <= self.past_window <= 62:
-            raise ValueError(
+            raise HoldMaskConfigError(
                 f"past_window must be in [0, 62], got {self.past_window}"
             )
         # int32: the clock advances once per mini-batch, far below 2**31.
@@ -100,7 +101,7 @@ class HoldMask:
         if slots.size == 0:
             return
         if slots.min() < 0 or slots.max() >= self.num_slots:
-            raise ValueError("slot index out of range")
+            raise HoldMaskConfigError("slot index out of range")
         self._release_at[slots] = self._clock + self.past_window + 1
 
     def hold_trusted(self, slots: np.ndarray) -> None:

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import PipelineConfigError
 from repro.core.hitmap import EMPTY
 from repro.core.scratchpad import GpuScratchpad, TablePlan
 from repro.data.trace import MiniBatch
@@ -392,14 +393,14 @@ class ScratchPipePipeline:
 
     def __post_init__(self) -> None:
         if len(self.scratchpads) != self.config.num_tables:
-            raise ValueError(
+            raise PipelineConfigError(
                 f"need one scratchpad per table ({self.config.num_tables}), "
                 f"got {len(self.scratchpads)}"
             )
         if self.cpu_tables is not None and len(self.cpu_tables) != self.config.num_tables:
-            raise ValueError("cpu_tables must have one array per table")
+            raise PipelineConfigError("cpu_tables must have one array per table")
         if self.future_window < 0:
-            raise ValueError(f"future_window must be >= 0, got {self.future_window}")
+            raise PipelineConfigError(f"future_window must be >= 0, got {self.future_window}")
         self._functional = self.cpu_tables is not None
         # Batch cache: synthetic datasets regenerate batches on demand, and
         # each batch is needed by [Load] plus the future windows of the two
@@ -545,7 +546,7 @@ class ScratchPipePipeline:
         if num_batches is None:
             num_batches = total
         if not 0 < num_batches <= total:
-            raise ValueError(
+            raise PipelineConfigError(
                 f"num_batches must be in [1, {total}], got {num_batches}"
             )
 

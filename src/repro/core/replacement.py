@@ -41,11 +41,12 @@ Two implementations of the same semantics
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
+from repro._env import read_env_flag
+from repro.errors import ReplacementConfigError, ReplacementStateError
 
 #: Chunk floor for the bucket walk: candidates are validated in slices of at
 #: least this many entries so the amortised numpy call overhead stays small.
@@ -240,7 +241,7 @@ class ReplacementPolicy:
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
-            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+            raise ReplacementConfigError(f"num_slots must be >= 1, got {self.num_slots}")
         # Never-used slots sort first so vacancies fill eagerly.
         # int32 scores: plan cycles and use counts stay far below 2**31,
         # and the score gathers are the candidate walk's hottest traffic.
@@ -322,7 +323,7 @@ class ReplacementPolicy:
     # ------------------------------------------------------------------
     def _ensure_incremental(self) -> _CandidateBuckets:
         if self._hold_mask is None:
-            raise RuntimeError(
+            raise ReplacementStateError(
                 "select_eligible() needs a bound HoldMask; call "
                 "bind_hold_mask() first (or use legacy=True with select())"
             )
@@ -515,6 +516,9 @@ class RandomPolicy(ReplacementPolicy):
 
 #: Name -> class registry the ``repro.api`` plugin surface extends via
 #: :func:`register_policy`; the builtins below seed it at import time.
+# repro-lint: disable=worker-capture -- import-time registry: the
+# builtin @register_policy decorators below repopulate it identically in
+# every process on module import.
 _POLICIES: Dict[str, Type[ReplacementPolicy]] = {}
 
 
@@ -532,7 +536,7 @@ def register_policy(name: str):
     def decorate(cls: Type[ReplacementPolicy]) -> Type[ReplacementPolicy]:
         existing = _POLICIES.get(key)
         if existing is not None and existing is not cls:
-            raise ValueError(
+            raise ReplacementConfigError(
                 f"policy {key!r} is already registered to "
                 f"{existing.__name__}"
             )
@@ -552,7 +556,7 @@ def policy_class(name: str) -> Type[ReplacementPolicy]:
     try:
         return _POLICIES[name.lower()]
     except KeyError:
-        raise ValueError(
+        raise ReplacementConfigError(
             f"unknown policy {name!r}; expected one of {sorted(_POLICIES)}"
         ) from None
 
@@ -574,5 +578,5 @@ def make_policy(
     """
     policy_cls = policy_class(name)
     if legacy is None:
-        legacy = bool(int(os.environ.get("REPRO_LEGACY_SELECT", "0") or "0"))
+        legacy = read_env_flag("REPRO_LEGACY_SELECT")
     return policy_cls(num_slots=num_slots, legacy=legacy)

@@ -18,6 +18,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.errors import (
+    PlanCoverageError,
+    ScratchpadConfigError,
+    ScratchpadStateError,
+)
 from repro.core.hitmap import EMPTY, HitMap
 from repro.core.holdmask import HoldMask
 from repro.core.replacement import (
@@ -87,7 +92,7 @@ class TablePlan:
         if positions.max(initial=-1) >= self.unique_ids.size or not np.array_equal(
             self.unique_ids[positions], flat
         ):
-            raise KeyError("plan does not cover all requested IDs")
+            raise PlanCoverageError("plan does not cover all requested IDs")
         return self.slots[positions].reshape(np.asarray(ids).shape)
 
 
@@ -127,7 +132,7 @@ class GpuScratchpad:
 
     def __post_init__(self) -> None:
         if self.with_storage and self.dim < 1:
-            raise ValueError("dim must be >= 1 when storage is materialised")
+            raise ScratchpadConfigError("dim must be >= 1 when storage is materialised")
         self.hit_map = HitMap(self.num_slots, self.num_rows)
         self.hold_mask = HoldMask(self.num_slots, past_window=self.past_window)
         self.policy = make_policy(
@@ -316,7 +321,7 @@ class GpuScratchpad:
     # ------------------------------------------------------------------
     def _require_storage(self) -> np.ndarray:
         if self.storage is None:
-            raise RuntimeError(
+            raise ScratchpadStateError(
                 "scratchpad was built metadata-only (with_storage=False)"
             )
         return self.storage
@@ -357,7 +362,7 @@ def per_table(value, num_tables: int, what: str) -> tuple:
         return (value,) * num_tables
     values = tuple(value)
     if len(values) != num_tables:
-        raise ValueError(
+        raise ScratchpadConfigError(
             f"per-table {what} needs one value per table "
             f"({num_tables}), got {len(values)}"
         )
@@ -374,7 +379,7 @@ def required_slots(config: ModelConfig, window_batches: int = 6) -> int:
     over tables).
     """
     if window_batches < 1:
-        raise ValueError(f"window_batches must be >= 1, got {window_batches}")
+        raise ScratchpadConfigError(f"window_batches must be >= 1, got {window_batches}")
     per_batch = config.lookups_per_table * config.batch_size
     return min(per_batch * window_batches, config.rows_per_table)
 
@@ -396,7 +401,7 @@ def hazard_floor_slots(config: ModelConfig, past_window: int = 3) -> int:
     fills the cache.
     """
     if past_window < 0:
-        raise ValueError(f"past_window must be >= 0, got {past_window}")
+        raise ScratchpadConfigError(f"past_window must be >= 0, got {past_window}")
     return required_slots(config, window_batches=past_window + 1)
 
 

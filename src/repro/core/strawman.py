@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ScratchpadConfigError
 from repro.core.hitmap import EMPTY
 from repro.core.pipeline import BatchCacheStats, PipelineTrainer
 from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
@@ -76,7 +77,7 @@ class StrawmanCache:
 
     def __post_init__(self) -> None:
         if len(self.scratchpads) != self.config.num_tables:
-            raise ValueError(
+            raise ScratchpadConfigError(
                 f"need one scratchpad per table ({self.config.num_tables}), "
                 f"got {len(self.scratchpads)}"
             )
@@ -136,7 +137,7 @@ class StrawmanCache:
         if num_batches is None:
             num_batches = total
         if not 0 < num_batches <= total:
-            raise ValueError(
+            raise ScratchpadConfigError(
                 f"num_batches must be in [1, {total}], got {num_batches}"
             )
         return [

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.errors import TimelineConfigError
 from repro.core.pipeline import STAGES
 
 #: Stages that are priced (Load is overlapped host work).
@@ -38,7 +39,7 @@ def schedule(num_batches: int) -> List[CycleOccupancy]:
     """The pure occupancy schedule: batch ``b`` is at stage ``s`` in cycle
     ``b + index(s)``."""
     if num_batches < 1:
-        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+        raise TimelineConfigError(f"num_batches must be >= 1, got {num_batches}")
     cycles = []
     last_cycle = num_batches - 1 + len(STAGES) - 1
     for cycle in range(last_cycle + 1):
@@ -66,7 +67,7 @@ class PipelineTimeline:
 
     def __post_init__(self) -> None:
         if not self.stage_seconds:
-            raise ValueError("stage_seconds must cover at least one batch")
+            raise TimelineConfigError("stage_seconds must cover at least one batch")
 
     @property
     def num_batches(self) -> int:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+from repro.errors import ConformanceInputError
 
 
 @dataclass(frozen=True)
@@ -50,7 +51,7 @@ def normal_quantile(p: float) -> float:
     thresholds.
     """
     if not 0.0 < p < 1.0:
-        raise ValueError(f"p must be in (0, 1), got {p}")
+        raise ConformanceInputError(f"p must be in (0, 1), got {p}")
     a = (-3.969683028665376e+01, 2.209460984245205e+02,
          -2.759285104469687e+02, 1.383577518672690e+02,
          -3.066479806614716e+01, 2.506628277459239e+00)
@@ -81,7 +82,7 @@ def normal_quantile(p: float) -> float:
 def chi_squared_critical(dof: int, alpha: float = 1e-6) -> float:
     """Upper-``alpha`` chi-squared quantile (Wilson–Hilferty)."""
     if dof < 1:
-        raise ValueError(f"dof must be >= 1, got {dof}")
+        raise ConformanceInputError(f"dof must be >= 1, got {dof}")
     z = normal_quantile(1.0 - alpha)
     h = 2.0 / (9.0 * dof)
     return dof * (1.0 - h + z * math.sqrt(h)) ** 3
@@ -135,18 +136,18 @@ def chi_squared_gof(
     counts = np.asarray(observed_counts, dtype=np.float64)
     probs = np.asarray(expected_probs, dtype=np.float64)
     if counts.shape != probs.shape:
-        raise ValueError(
+        raise ConformanceInputError(
             f"shape mismatch: counts {counts.shape} vs probs {probs.shape}"
         )
     total_p = probs.sum()
     if not math.isclose(total_p, 1.0, rel_tol=0, abs_tol=1e-6):
-        raise ValueError(f"expected_probs must sum to 1, got {total_p}")
+        raise ConformanceInputError(f"expected_probs must sum to 1, got {total_p}")
     total = counts.sum()
     if total <= 0:
-        raise ValueError("observed_counts must contain samples")
+        raise ConformanceInputError("observed_counts must contain samples")
     counts, probs = bin_tail(counts, probs, min_expected, int(total))
     if counts.size < 2:
-        raise ValueError(
+        raise ConformanceInputError(
             "fewer than two bins after merging; increase the sample size"
         )
     expected = probs * total
@@ -160,7 +161,7 @@ def chi_squared_gof(
 def ks_critical(n: int, alpha: float = 1e-6) -> float:
     """Asymptotic two-sided Kolmogorov–Smirnov critical distance."""
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ConformanceInputError(f"n must be >= 1, got {n}")
     return math.sqrt(-math.log(alpha / 2.0) / (2.0 * n))
 
 
@@ -175,11 +176,11 @@ def ks_gof(
     """
     samples = np.asarray(samples).reshape(-1)
     if samples.size == 0:
-        raise ValueError("samples must be non-empty")
+        raise ConformanceInputError("samples must be non-empty")
     k = len(model_cdf)
     counts = np.bincount(samples, minlength=k)
     if counts.size > k:
-        raise ValueError("samples exceed the model's support")
+        raise ConformanceInputError("samples exceed the model's support")
     empirical_cdf = np.cumsum(counts) / samples.size
     statistic = float(np.abs(empirical_cdf - np.asarray(model_cdf)).max())
     return GofResult(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.errors import DatasetSpecError
 from repro.data.distributions import (
     AccessDistribution,
     UniformDistribution,
@@ -100,7 +101,7 @@ def locality_distribution(locality: str, num_rows: int) -> AccessDistribution:
     try:
         exponent = _LOCALITY_EXPONENTS[locality]
     except KeyError:
-        raise ValueError(
+        raise DatasetSpecError(
             f"unknown locality {locality!r}; expected one of {LOCALITY_CLASSES}"
         ) from None
     return ZipfDistribution(num_rows=num_rows, exponent=exponent)
@@ -136,7 +137,7 @@ def criteo_table_distributions(
             exponent = CRITEO_TABLE_EXPONENTS[table]
         except KeyError:
             known = sorted(CRITEO_TABLE_EXPONENTS)
-            raise ValueError(
+            raise DatasetSpecError(
                 f"no profiled exponent for table {table}; known: {known}"
             ) from None
         out[table] = ZipfDistribution(num_rows=num_rows, exponent=exponent)
@@ -149,4 +150,4 @@ def dataset_by_name(name: str) -> DatasetProfile:
         if profile.name.lower() == name.lower():
             return profile
     known = ", ".join(p.name for p in DATASET_PROFILES)
-    raise ValueError(f"unknown dataset {name!r}; expected one of: {known}")
+    raise DatasetSpecError(f"unknown dataset {name!r}; expected one of: {known}")

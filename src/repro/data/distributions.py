@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from repro.errors import DistributionConfigError
 
 
 class InvalidZipfExponentError(ValueError):
@@ -70,7 +71,7 @@ class UniformDistribution(AccessDistribution):
 
     def __post_init__(self) -> None:
         if self.num_rows < 1:
-            raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
+            raise DistributionConfigError(f"num_rows must be >= 1, got {self.num_rows}")
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(0, self.num_rows, size=n, dtype=np.int64)
@@ -106,7 +107,7 @@ class ZipfDistribution(AccessDistribution):
 
     def __post_init__(self) -> None:
         if self.num_rows < 1:
-            raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
+            raise DistributionConfigError(f"num_rows must be >= 1, got {self.num_rows}")
         if not np.isfinite(self.exponent) or not 0.0 < self.exponent < 1.0:
             raise InvalidZipfExponentError(
                 "exponent must be in (0, 1) for the analytic sampler, "
@@ -156,12 +157,12 @@ def fit_zipf_exponent(cache_fraction: float, hit_rate: float) -> float:
     (Section III-A) yields ``s ~= 0.943``.
     """
     if not 0.0 < cache_fraction < 1.0:
-        raise ValueError(f"cache_fraction must be in (0, 1), got {cache_fraction}")
+        raise DistributionConfigError(f"cache_fraction must be in (0, 1), got {cache_fraction}")
     if not 0.0 < hit_rate < 1.0:
-        raise ValueError(f"hit_rate must be in (0, 1), got {hit_rate}")
+        raise DistributionConfigError(f"hit_rate must be in (0, 1), got {hit_rate}")
     exponent = 1.0 - math.log(hit_rate) / math.log(cache_fraction)
     if not 0.0 < exponent < 1.0:
-        raise ValueError(
+        raise DistributionConfigError(
             "anchor point implies an exponent outside (0, 1): "
             f"({cache_fraction}, {hit_rate}) -> {exponent}"
         )

@@ -38,6 +38,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from repro._env import read_env
 from repro.data.io import (
     InvalidTraceFileSpecError,
     TraceFileSpec,
@@ -77,7 +78,7 @@ class ChecksumMismatchError(TraceVerificationError):
 
 def trace_dir() -> Path:
     """Directory downloaded traces land in (`$REPRO_TRACE_DIR` override)."""
-    override = os.environ.get(TRACE_DIR_ENV)
+    override = read_env(TRACE_DIR_ENV)
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro" / "traces"

@@ -31,6 +31,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.errors import TraceFormatError
 from repro.data.trace import (
     MaterialisedDataset,
     MiniBatch,
@@ -76,13 +77,13 @@ def save_trace(
             of ``config`` and agree on whether dense features are present.
     """
     if not batches:
-        raise ValueError("cannot save an empty trace")
+        raise TraceFormatError("cannot save an empty trace")
     has_dense = batches[0].dense is not None
     for batch in batches:
         if batch.sparse_ids.shape != batches[0].sparse_ids.shape:
-            raise ValueError("all batches must share one sparse-ID shape")
+            raise TraceFormatError("all batches must share one sparse-ID shape")
         if (batch.dense is not None) != has_dense:
-            raise ValueError("all batches must agree on dense presence")
+            raise TraceFormatError("all batches must agree on dense presence")
 
     payload = {
         "format_version": np.int64(FORMAT_VERSION),
@@ -111,7 +112,7 @@ class TraceFile(TraceSource):
         archive = np.load(Path(path))
         version = int(archive["format_version"])
         if version != FORMAT_VERSION:
-            raise ValueError(
+            raise TraceFormatError(
                 f"unsupported trace format {version}; expected {FORMAT_VERSION}"
             )
         self._sparse = archive["sparse_ids"]
@@ -119,7 +120,7 @@ class TraceFile(TraceSource):
         self._labels = archive["labels"] if "labels" in archive else None
         if max_batches is not None:
             if max_batches < 1:
-                raise ValueError(
+                raise TraceFormatError(
                     f"max_batches must be >= 1, got {max_batches}"
                 )
             self._sparse = self._sparse[:max_batches]
@@ -165,7 +166,7 @@ class TraceFile(TraceSource):
         if self.batch_size != config.batch_size:
             mismatches.append("batch_size")
         if mismatches:
-            raise ValueError(
+            raise TraceFormatError(
                 "trace/config geometry mismatch on: " + ", ".join(mismatches)
             )
 
@@ -241,7 +242,7 @@ def _compiled_header(path: Union[str, Path]) -> dict:
     with open(path, "rb") as fh:
         magic = fh.read(len(COMPILED_MAGIC))
         if magic != COMPILED_MAGIC:
-            raise ValueError(
+            raise TraceFormatError(
                 f"{path} is not a compiled trace (bad magic {magic!r}); "
                 "compile one with repro.data.io.compile_trace or "
                 "`python -m repro.cli ingest`"
@@ -284,9 +285,9 @@ def compile_trace(
     total = len(source)
     num_batches = total if num_batches is None else min(num_batches, total)
     if num_batches < 1:
-        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+        raise TraceFormatError(f"num_batches must be >= 1, got {num_batches}")
     if config.rows_per_table > np.iinfo(np.int32).max:
-        raise ValueError(
+        raise TraceFormatError(
             f"rows_per_table {config.rows_per_table} exceeds the int32 ID "
             "range of the compiled format"
         )
@@ -336,22 +337,22 @@ def compile_trace(
 
     def _check_batch(batch: MiniBatch, index: int) -> None:
         if batch.sparse_ids.shape != sparse_shape[1:]:
-            raise ValueError(
+            raise TraceFormatError(
                 f"batch {index} has sparse shape {batch.sparse_ids.shape}; "
                 f"expected {sparse_shape[1:]}"
             )
         low = int(batch.sparse_ids.min())
         high = int(batch.sparse_ids.max())
         if low < 0 or high >= config.rows_per_table:
-            raise ValueError(
+            raise TraceFormatError(
                 f"batch {index} carries IDs outside "
                 f"[0, {config.rows_per_table}): min {low}, max {high}"
             )
         if (batch.dense is not None) != with_dense:
-            raise ValueError("all batches must agree on dense presence")
+            raise TraceFormatError("all batches must agree on dense presence")
         if with_dense:
             if batch.dense.shape != (config.batch_size, dense_width):
-                raise ValueError(
+                raise TraceFormatError(
                     f"batch {index} has dense shape {batch.dense.shape}; "
                     f"expected {(config.batch_size, dense_width)}"
                 )
@@ -359,7 +360,7 @@ def compile_trace(
                 config.batch_size,
             ):
                 shape = None if batch.labels is None else batch.labels.shape
-                raise ValueError(
+                raise TraceFormatError(
                     f"batch {index} has labels shape {shape}; dense-bearing "
                     f"traces need labels of shape {(config.batch_size,)}"
                 )
@@ -418,7 +419,7 @@ def compile_trace(
                     + int(np.prod(meta["shape"])) * 4
                 )
                 if cursors[name] != expected:
-                    raise ValueError(
+                    raise TraceFormatError(
                         f"compiled section {name!r} ended at byte "
                         f"{cursors[name]}, expected {expected}"
                     )
@@ -457,7 +458,7 @@ class CompiledTraceSource(TraceSource):
         header = _compiled_header(path)
         version = int(header["format_version"])
         if version != FORMAT_VERSION:
-            raise ValueError(
+            raise TraceFormatError(
                 f"unsupported compiled-trace version {version}; "
                 f"expected {FORMAT_VERSION}"
             )
@@ -470,7 +471,7 @@ class CompiledTraceSource(TraceSource):
         self._num_batches = int(header["num_batches"])
         if max_batches is not None:
             if max_batches < 1:
-                raise ValueError(
+                raise TraceFormatError(
                     f"max_batches must be >= 1, got {max_batches}"
                 )
             self._num_batches = min(self._num_batches, max_batches)
@@ -517,7 +518,7 @@ class CompiledTraceSource(TraceSource):
         if self.batch_size != config.batch_size:
             mismatches.append("batch_size")
         if mismatches:
-            raise ValueError(
+            raise TraceFormatError(
                 "compiled trace/config geometry mismatch on: "
                 + ", ".join(mismatches)
             )

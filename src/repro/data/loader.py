@@ -15,6 +15,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.errors import LoaderConfigError
 from repro.data.trace import MiniBatch, SyntheticDataset
 
 
@@ -37,7 +38,7 @@ class LookaheadLoader:
 
     def __post_init__(self) -> None:
         if self.lookahead < 0:
-            raise ValueError(f"lookahead must be >= 0, got {self.lookahead}")
+            raise LoaderConfigError(f"lookahead must be >= 0, got {self.lookahead}")
         self._cursor = 0
         self._cache: dict[int, MiniBatch] = {}
 
@@ -77,9 +78,9 @@ class LookaheadLoader:
             ValueError: If ``offset`` exceeds the declared lookahead bound.
         """
         if offset < 0:
-            raise ValueError(f"offset must be >= 0, got {offset}")
+            raise LoaderConfigError(f"offset must be >= 0, got {offset}")
         if offset > self.lookahead:
-            raise ValueError(
+            raise LoaderConfigError(
                 f"offset {offset} exceeds declared lookahead {self.lookahead}"
             )
         index = self._cursor + offset

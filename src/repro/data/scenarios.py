@@ -323,7 +323,7 @@ class ScenarioDataset(TraceSource):
         with_dense: bool = False,
     ) -> None:
         if num_batches < 1:
-            raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+            raise ScenarioSpecError(f"num_batches must be >= 1, got {num_batches}")
         self.config = config
         self.spec = spec
         self.seed = seed

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
+from repro.errors import TraceStatsError
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,7 @@ def trace_stats(ids: np.ndarray) -> TraceStats:
     """Compute :class:`TraceStats` for a flat array of lookup IDs."""
     ids = np.asarray(ids).reshape(-1)
     if ids.size == 0:
-        raise ValueError("trace must contain at least one lookup")
+        raise TraceStatsError("trace must contain at least one lookup")
     _, counts = np.unique(ids, return_counts=True)
     counts_sorted = np.sort(counts)[::-1]
     head = max(1, int(np.ceil(counts_sorted.size * 0.01)))
@@ -109,7 +110,7 @@ def lru_hit_rate_curve(
     out = np.empty(len(capacities), dtype=np.float64)
     for i, capacity in enumerate(capacities):
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise TraceStatsError(f"capacity must be >= 1, got {capacity}")
         out[i] = float((reused < capacity).sum()) / distances.size
     return out
 
@@ -123,7 +124,7 @@ def working_set_curve(
     ``validate_capacity_bound`` checks exactly that.
     """
     if window_batches < 1:
-        raise ValueError(f"window_batches must be >= 1, got {window_batches}")
+        raise TraceStatsError(f"window_batches must be >= 1, got {window_batches}")
     sizes: List[int] = []
     for start in range(0, max(1, len(batch_ids) - window_batches + 1)):
         window = batch_ids[start:start + window_batches]

@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import TraceSourceError
 from repro.data.datasets import locality_distribution
 from repro.data.distributions import AccessDistribution
 from repro.model.config import ModelConfig
@@ -185,7 +186,7 @@ class TraceSource:
         when requested and nothing is retained between chunks.
         """
         if chunk_batches < 1:
-            raise ValueError(
+            raise TraceSourceError(
                 f"chunk_batches must be >= 1, got {chunk_batches}"
             )
         total = len(self)
@@ -225,15 +226,15 @@ class SyntheticDataset(TraceSource):
 
     def __post_init__(self) -> None:
         if len(self.distributions) not in (1, self.config.num_tables):
-            raise ValueError(
+            raise TraceSourceError(
                 "distributions must have length 1 or num_tables "
                 f"({self.config.num_tables}), got {len(self.distributions)}"
             )
         if self.num_batches < 1:
-            raise ValueError(f"num_batches must be >= 1, got {self.num_batches}")
+            raise TraceSourceError(f"num_batches must be >= 1, got {self.num_batches}")
         for dist in self.distributions:
             if dist.num_rows != self.config.rows_per_table:
-                raise ValueError(
+                raise TraceSourceError(
                     "distribution row count "
                     f"({dist.num_rows}) must match rows_per_table "
                     f"({self.config.rows_per_table})"
@@ -292,7 +293,7 @@ class MaterialisedDataset(TraceSource):
         total = len(dataset)
         num_batches = total if num_batches is None else num_batches
         if not 0 < num_batches <= total:
-            raise ValueError(
+            raise TraceSourceError(
                 f"num_batches must be in [1, {total}], got {num_batches}"
             )
         self.config = dataset.config
@@ -329,7 +330,7 @@ class MaterialisedDataset(TraceSource):
         self.config = config
         self._batches = list(batches)
         if not self._batches:
-            raise ValueError("cannot materialise an empty batch list")
+            raise TraceSourceError("cannot materialise an empty batch list")
         self._precompute_uniques()
         return self
 

@@ -42,6 +42,7 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from repro.errors import TsvFormatError
 from repro.data.trace import MiniBatch, TraceSource, mix64_scalar
 from repro.model.config import ModelConfig
 
@@ -188,17 +189,17 @@ class TsvTraceSource(TraceSource):
         allow_dense_pad: bool = False,
     ) -> None:
         if engine not in ("numpy", "python"):
-            raise ValueError(
+            raise TsvFormatError(
                 f"unknown TSV engine {engine!r}; expected 'numpy' or 'python'"
             )
         if num_dense_columns < 0:
-            raise ValueError(
+            raise TsvFormatError(
                 f"num_dense_columns must be >= 0, got {num_dense_columns}"
             )
         if with_dense and not allow_dense_pad and (
             num_dense_columns != config.num_dense_features
         ):
-            raise ValueError(
+            raise TsvFormatError(
                 f"TSV file carries {num_dense_columns} dense columns but the "
                 f"model expects {config.num_dense_features} dense features; "
                 "silent truncation/zero-fill is almost always a mis-mapped "
@@ -230,7 +231,7 @@ class TsvTraceSource(TraceSource):
         if max_batches is not None:
             self._num_batches = min(self._num_batches, max_batches)
         if self._num_batches < 1:
-            raise ValueError(
+            raise TsvFormatError(
                 f"TSV file holds {samples} samples — fewer than one "
                 f"batch of {config.batch_size}"
             )
@@ -276,7 +277,7 @@ class TsvTraceSource(TraceSource):
         fields = line.rstrip(b"\r\n").split(b"\t")
         needed = 1 + self.num_dense_columns + self._columns_needed
         if len(fields) < needed:
-            raise ValueError(
+            raise TsvFormatError(
                 f"TSV line has {len(fields)} fields; need >= {needed} "
                 f"(1 label + {self.num_dense_columns} dense + "
                 f"{self._columns_needed} categorical)"
@@ -346,7 +347,7 @@ class TsvTraceSource(TraceSource):
         if num_fields.min(initial=min_fields) < min_fields:
             bad = int(np.argmax(num_fields < min_fields))
             sample = first_sample + bad
-            raise ValueError(
+            raise TsvFormatError(
                 f"TSV sample {sample} has "
                 f"{int(num_fields[bad]) - 1 - self.num_dense_columns} "
                 f"categorical fields; need >= {self._columns_needed}"
@@ -388,7 +389,7 @@ class TsvTraceSource(TraceSource):
             fields = line.split(b"\t")
             cats = fields[1 + self.num_dense_columns:]
             if len(cats) < self._columns_needed:
-                raise ValueError(
+                raise TsvFormatError(
                     f"TSV sample {first_sample + sample}"
                     f" has {len(cats)} categorical fields; need >= "
                     f"{self._columns_needed}"
@@ -479,7 +480,7 @@ class TsvTraceSource(TraceSource):
 
     def iter_chunks(self, chunk_batches: int = 256) -> Iterator[List[MiniBatch]]:
         if chunk_batches < 1:
-            raise ValueError(f"chunk_batches must be >= 1, got {chunk_batches}")
+            raise TsvFormatError(f"chunk_batches must be >= 1, got {chunk_batches}")
         self.reset()
         chunk: List[MiniBatch] = []
         for index in range(self._num_batches):

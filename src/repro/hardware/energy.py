@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Tuple
 
+from repro.errors import HardwareSpecError
 from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
 
 #: Devices recognised by the energy model.
@@ -36,10 +37,10 @@ class EnergySlice:
 
     def __post_init__(self) -> None:
         if self.seconds < 0:
-            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+            raise HardwareSpecError(f"seconds must be non-negative, got {self.seconds}")
         for device in self.busy:
             if device not in _KNOWN_DEVICES:
-                raise ValueError(
+                raise HardwareSpecError(
                     f"unknown device {device!r}; expected one of {_KNOWN_DEVICES}"
                 )
 

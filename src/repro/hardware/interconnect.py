@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import HardwareSpecError
 from repro.hardware.spec import LinkSpec
 
 
@@ -22,7 +23,7 @@ class Link:
     def transfer_time(self, n_bytes: float) -> float:
         """Time for a one-directional bulk copy of ``n_bytes``."""
         if n_bytes < 0:
-            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+            raise HardwareSpecError(f"n_bytes must be non-negative, got {n_bytes}")
         if n_bytes == 0:
             return 0.0
         return self.spec.latency_s + n_bytes / self.spec.effective_bandwidth
@@ -50,7 +51,7 @@ class Link:
         with full-duplex links the send and receive overlap.
         """
         if num_gpus < 1:
-            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+            raise HardwareSpecError(f"num_gpus must be >= 1, got {num_gpus}")
         if num_gpus == 1:
             return 0.0
         remote_fraction = (num_gpus - 1) / num_gpus
@@ -59,7 +60,7 @@ class Link:
     def allreduce_time(self, n_bytes: float, num_gpus: int) -> float:
         """Time for a ring all-reduce of an ``n_bytes`` buffer."""
         if num_gpus < 1:
-            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+            raise HardwareSpecError(f"num_gpus must be >= 1, got {num_gpus}")
         if num_gpus == 1:
             return 0.0
         # Ring all-reduce moves 2 * (N-1)/N of the buffer per GPU.

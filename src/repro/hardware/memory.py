@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import HardwareSpecError
 from repro.hardware.spec import MemorySpec
 
 #: Access-pattern selector for :meth:`MemoryDevice.access_time`.
@@ -42,7 +43,7 @@ class MemoryDevice:
             return self.spec.sequential_bandwidth
         if pattern == SCATTERED_WRITE:
             return self.spec.scattered_write_bandwidth
-        raise ValueError(
+        raise HardwareSpecError(
             f"unknown access pattern {pattern!r}; expected one of {_VALID_PATTERNS}"
         )
 
@@ -55,7 +56,7 @@ class MemoryDevice:
                 ``"sequential"`` for streaming accesses.
         """
         if n_bytes < 0:
-            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+            raise HardwareSpecError(f"n_bytes must be non-negative, got {n_bytes}")
         if n_bytes == 0:
             return 0.0
         return self.spec.access_latency_s + n_bytes / self._bandwidth(pattern)
@@ -75,7 +76,7 @@ class MemoryDevice:
         applies the update and writes it back, moving the payload twice.
         """
         if n_bytes < 0:
-            raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+            raise HardwareSpecError(f"n_bytes must be non-negative, got {n_bytes}")
         if n_bytes == 0:
             return 0.0
         return self.spec.access_latency_s + 2.0 * n_bytes / self._bandwidth(pattern)

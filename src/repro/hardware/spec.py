@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import HardwareSpecError
+
 
 @dataclass(frozen=True)
 class MemorySpec:
@@ -53,6 +55,27 @@ class MemorySpec:
     sequential_efficiency: float
     scattered_write_efficiency: float = 0.25
     access_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise HardwareSpecError(
+                f"capacity_bytes must be >= 1, got {self.capacity_bytes}"
+            )
+        if self.peak_bandwidth <= 0:
+            raise HardwareSpecError(
+                f"peak_bandwidth must be positive, got {self.peak_bandwidth}"
+            )
+        for name in ("random_access_efficiency", "sequential_efficiency",
+                     "scattered_write_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise HardwareSpecError(
+                    f"{name} must be in (0, 1], got {value}"
+                )
+        if self.access_latency_s < 0:
+            raise HardwareSpecError(
+                f"access_latency_s must be >= 0, got {self.access_latency_s}"
+            )
 
     @property
     def random_bandwidth(self) -> float:
@@ -88,6 +111,21 @@ class LinkSpec:
     full_duplex: bool = True
     efficiency: float = 0.85
 
+    def __post_init__(self) -> None:
+        if self.bandwidth_per_direction <= 0:
+            raise HardwareSpecError(
+                "bandwidth_per_direction must be positive, got "
+                f"{self.bandwidth_per_direction}"
+            )
+        if self.latency_s < 0:
+            raise HardwareSpecError(
+                f"latency_s must be >= 0, got {self.latency_s}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise HardwareSpecError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
     @property
     def effective_bandwidth(self) -> float:
         """Achievable bytes/second per direction for bulk transfers."""
@@ -112,6 +150,20 @@ class ComputeSpec:
     mlp_efficiency: float
     kernel_launch_s: float
 
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise HardwareSpecError(
+                f"peak_flops must be positive, got {self.peak_flops}"
+            )
+        if not 0.0 < self.mlp_efficiency <= 1.0:
+            raise HardwareSpecError(
+                f"mlp_efficiency must be in (0, 1], got {self.mlp_efficiency}"
+            )
+        if self.kernel_launch_s < 0:
+            raise HardwareSpecError(
+                f"kernel_launch_s must be >= 0, got {self.kernel_launch_s}"
+            )
+
     @property
     def effective_flops(self) -> float:
         """Achievable FLOP/s on DLRM MLP layers."""
@@ -132,6 +184,15 @@ class PowerSpec:
     cpu_idle_w: float
     gpu_active_w: float
     gpu_idle_w: float
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_active_w", "cpu_idle_w", "gpu_active_w",
+                     "gpu_idle_w"):
+            value = getattr(self, name)
+            if value < 0:
+                raise HardwareSpecError(
+                    f"{name} must be >= 0, got {value}"
+                )
 
 
 GiB = 1024 ** 3
@@ -243,6 +304,12 @@ class HardwareSpec:
     power: PowerSpec = field(default_factory=_default_power)
     # Per-pipeline-stage synchronisation overhead (stream sync, host logic).
     stage_sync_s: float = 1.2e-3
+
+    def __post_init__(self) -> None:
+        if self.stage_sync_s < 0:
+            raise HardwareSpecError(
+                f"stage_sync_s must be >= 0, got {self.stage_sync_s}"
+            )
 
 
 DEFAULT_HARDWARE = HardwareSpec()

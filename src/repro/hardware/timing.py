@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import HardwareSpecError
 from repro.hardware.interconnect import Link
 from repro.hardware.memory import RANDOM, SCATTERED_WRITE, SEQUENTIAL, MemoryDevice
 from repro.hardware.spec import DEFAULT_HARDWARE, HardwareSpec
@@ -65,7 +66,7 @@ class CostModel:
             return self.cpu_mem
         if device == "gpu":
             return self.gpu_mem
-        raise ValueError(f"unknown device {device!r}; expected 'cpu' or 'gpu'")
+        raise HardwareSpecError(f"unknown device {device!r}; expected 'cpu' or 'gpu'")
 
     def _row_bytes(self, rows: float) -> float:
         return rows * self.config.row_bytes

@@ -1,0 +1,49 @@
+"""repro.lint — AST invariant linter for this reproduction's contracts.
+
+The simulator's correctness claims are *process-level*: bit-identical
+reruns across worker counts, byte-identical checkpoint resume, frozen
+specs as the only cross-process currency, and a named error taxonomy the
+failure report can aggregate.  Unit tests catch violations of these only
+when the violating line happens to execute under the violating schedule;
+this package checks them statically instead.
+
+Run ``python -m repro.lint src/repro --strict`` (what CI enforces) or
+``repro.cli lint``.  Third-party rules register via
+:func:`register_rule` or the ``"repro.lint_rules"`` entry-point group —
+see ``examples/lint_custom_rule.py``.
+"""
+
+from repro.lint.baseline import fingerprint, load_baseline, write_baseline
+from repro.lint.engine import (
+    SUPPRESSION_RULE,
+    LintRun,
+    SourceModule,
+    lint_paths,
+    parse_module,
+)
+from repro.lint.findings import Finding, Suppression
+from repro.lint.registry import (
+    LINT_ENTRY_POINT_GROUP,
+    LintRule,
+    register_rule,
+    registered_rules,
+    rule_class,
+)
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "LintRule",
+    "LintRun",
+    "SourceModule",
+    "SUPPRESSION_RULE",
+    "LINT_ENTRY_POINT_GROUP",
+    "register_rule",
+    "registered_rules",
+    "rule_class",
+    "lint_paths",
+    "parse_module",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

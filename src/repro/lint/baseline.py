@@ -1,0 +1,90 @@
+"""Baseline files: accepted legacy findings that burn down over time.
+
+A baseline is a committed JSON file listing fingerprints of findings
+that predate a rule.  New violations fail the run immediately; matched
+legacy ones are reported separately (``N baselined``) until the code is
+fixed and ``--update-baseline`` shrinks the file.  Fingerprints hash the
+finding's rule, path, and *stripped source line text* (plus a
+disambiguating occurrence index for identical lines) rather than the
+line number, so unrelated edits above a legacy violation do not churn
+the baseline.
+
+This repository's committed baseline (``lint-baseline.json``) is empty —
+every pre-existing violation was fixed, not grandfathered — and the CI
+``static-analysis`` job runs ``--strict``, which additionally fails on
+stale baseline entries so the file can only shrink.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.errors import LintBaselineError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(
+    finding: Finding, seen: Dict[str, int], line_text: str = ""
+) -> str:
+    """Stable content key for one finding.
+
+    ``line_text`` is the stripped source text of the finding's line (the
+    engine supplies it; line *numbers* are deliberately excluded so edits
+    above a legacy violation do not churn the baseline).  ``seen``
+    carries occurrence counts across one run so two identical violations
+    on identical line text get distinct keys; pass the same dict for
+    every finding of a run, in report order.
+    """
+    base = "|".join((finding.rule, finding.path, line_text.strip()))
+    index = seen.get(base, 0)
+    seen[base] = index + 1
+    digest = hashlib.sha256(f"{base}|{index}".encode("utf-8")).hexdigest()
+    return f"{finding.rule}:{digest[:16]}"
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Read one baseline file into its fingerprint list."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintBaselineError(
+            f"cannot read baseline {path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise LintBaselineError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+        or not all(isinstance(f, str) for f in payload["findings"])
+    ):
+        raise LintBaselineError(
+            f"baseline {path} must be "
+            '{"version": 1, "findings": ["<fingerprint>", ...]}'
+        )
+    return list(payload["findings"])
+
+
+def write_baseline(path: Path, fingerprints: Sequence[str]) -> None:
+    """Write a baseline file (sorted, trailing newline, stable diffs)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(fingerprints),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

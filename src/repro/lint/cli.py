@@ -1,0 +1,151 @@
+"""``python -m repro.lint`` — the invariant linter's command line.
+
+Exit codes: 0 clean, 1 findings (or, under ``--strict``, stale baseline
+entries), 2 usage error.  ``repro.cli lint`` forwards here so the main
+CLI and the module entry point behave identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import LintBaselineError, LintUsageError
+from repro.lint.baseline import fingerprint, load_baseline, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import registered_rules
+from repro.lint.report import render_human, render_json
+
+__all__ = ["build_parser", "main"]
+
+#: Default baseline filename, resolved against ``--root``.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Build (or extend, for ``repro.cli lint``) the argument parser."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro.lint",
+            description=(
+                "AST invariant linter: determinism, spec-purity, "
+                "error-taxonomy, shm/env discipline, worker-capture"
+            ),
+        )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to exactly the current findings",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries (the file can only shrink)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULE", default=None,
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules (builtins + entry-point plugins)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point shared by ``__main__`` and ``repro.cli lint``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (also called by repro.cli)."""
+    if args.list_rules:
+        for cls in registered_rules():
+            print(f"{cls.name:24s} {cls.description}")
+        return 0
+
+    root = args.root if args.root is not None else Path.cwd()
+    paths = list(args.paths) or [Path("src/repro")]
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / DEFAULT_BASELINE
+        baseline_path = candidate if candidate.exists() else None
+    baseline: List[str] = []
+    try:
+        if baseline_path is not None and baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        run = lint_paths(
+            paths, select=args.select, baseline=baseline, root=root
+        )
+    except (LintUsageError, LintBaselineError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    # Stale entries: baseline fingerprints no finding consumed this run.
+    # Recompute fingerprints of everything the engine saw (active +
+    # baselined, in engine order) to learn which entries matched.
+    all_seen: List[str] = []
+    seen: Dict[str, int] = {}
+    ordered = sorted(run.findings + run.baselined)
+    lines_cache: Dict[str, List[str]] = {}
+    for found in ordered:
+        if found.path not in lines_cache:
+            candidate = root / found.path
+            source = candidate if candidate.exists() else Path(found.path)
+            try:
+                lines_cache[found.path] = source.read_text(
+                    encoding="utf-8"
+                ).split("\n")
+            except OSError:
+                lines_cache[found.path] = []
+        file_lines = lines_cache[found.path]
+        text = ""
+        if 1 <= found.line <= len(file_lines):
+            text = file_lines[found.line - 1]
+        all_seen.append(fingerprint(found, seen, text))
+    stale = sorted(set(baseline) - set(all_seen))
+
+    if args.update_baseline:
+        target = baseline_path or (root / DEFAULT_BASELINE)
+        # The refreshed baseline is exactly the current findings plus
+        # still-matching legacy entries: stale ones drop out.
+        keep = [fp for fp in all_seen]
+        write_baseline(target, keep)
+        print(
+            f"baseline updated: {target} ({len(keep)} finding"
+            f"{'s' if len(keep) != 1 else ''}, {len(stale)} stale removed)"
+        )
+        return 0
+
+    if args.as_json:
+        print(render_json(run, stale=stale))
+    else:
+        print(render_human(run, stale=stale))
+
+    if not run.clean:
+        return 1
+    if args.strict and stale:
+        return 1
+    return 0

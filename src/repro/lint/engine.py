@@ -1,0 +1,277 @@
+"""The lint engine: parse, dispatch rules, apply suppressions + baseline.
+
+One :class:`SourceModule` is built per file (source text, split lines,
+AST, and a posix-normalised path for allowlist matching); every selected
+rule's ``check`` runs over it, and the engine then applies the two
+filtering layers:
+
+- **Inline suppressions** — ``# repro-lint: disable=<rules> -- <why>``
+  silences the named rules on its own line (trailing comment) or on the
+  next code line (standalone comment).  A suppression without the
+  ``-- <why>`` justification is itself reported under the
+  ``suppression-justification`` pseudo-rule: silencing an invariant
+  requires saying why, and the reviewer sees the why in the diff.
+- **Baseline** — a committed JSON file of fingerprinted legacy findings
+  (see :mod:`repro.lint.baseline`).  Baselined findings are reported
+  separately and do not fail the run, so new violations fail while
+  legacy ones burn down.  This repo's baseline is empty and the CI job
+  keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintUsageError
+from repro.lint.findings import Finding, Suppression
+from repro.lint.registry import LintRule, registered_rules, rule_class
+
+__all__ = [
+    "SUPPRESSION_RULE",
+    "SourceModule",
+    "LintRun",
+    "parse_module",
+    "lint_paths",
+]
+
+#: Pseudo-rule reporting unjustified ``# repro-lint: disable`` directives.
+SUPPRESSION_RULE = "suppression-justification"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[\w*,-]+)(?P<rest>.*)$"
+)
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    rel: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        """1-indexed physical line (empty string when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def _parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Extract every ``repro-lint: disable`` directive from one file.
+
+    A standalone directive (comment-only line) applies to the next
+    non-blank, non-comment line; later comment-only lines extend its
+    justification.  A trailing directive applies to its own line.
+    """
+    out: List[Suppression] = []
+    for i, raw in enumerate(lines, start=1):
+        match = _DIRECTIVE_RE.search(raw)
+        if match is None:
+            continue
+        rules = tuple(
+            r for r in match.group("rules").split(",") if r
+        )
+        rest = match.group("rest").strip()
+        justification = ""
+        if rest.startswith("--"):
+            justification = rest[2:].strip()
+        standalone = raw.strip().startswith("#")
+        applies_to = i
+        if standalone:
+            j = i + 1
+            while j <= len(lines):
+                stripped = lines[j - 1].strip()
+                if not stripped:
+                    break
+                if stripped.startswith("#"):
+                    if _DIRECTIVE_RE.search(lines[j - 1]):
+                        break
+                    # Continuation comment lines extend the justification.
+                    justification = (
+                        justification + " " + stripped.lstrip("#").strip()
+                    ).strip()
+                    j += 1
+                    continue
+                applies_to = j
+                break
+        out.append(
+            Suppression(
+                line=i,
+                applies_to=applies_to,
+                rules=rules,
+                justification=justification,
+            )
+        )
+    return out
+
+
+def parse_module(path: Path, root: Optional[Path] = None) -> SourceModule:
+    """Read + parse one file into the record rules consume."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintUsageError(
+            f"cannot lint {path}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+    rel = path.as_posix()
+    if root is not None:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+    lines = text.split("\n")
+    module = SourceModule(
+        path=path, rel=rel, text=text, lines=lines, tree=tree
+    )
+    module.suppressions = _parse_suppressions(lines)
+    return module
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise LintUsageError(
+                f"cannot lint {path}: not a python file or directory"
+            )
+    if not files:
+        raise LintUsageError(
+            "no python files found under: "
+            + ", ".join(str(p) for p in paths)
+        )
+    return files
+
+
+@dataclass
+class LintRun:
+    """Everything one engine pass produced, pre-reporting.
+
+    Attributes:
+        findings: Active findings (not suppressed, not baselined).
+        baselined: Findings matched by the baseline (burn-down backlog).
+        suppressed: Findings silenced by a justified inline directive.
+        files: Number of files linted.
+        rules: Names of the rules that ran.
+    """
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    suppressed: List[Finding]
+    files: int
+    rules: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run is free of active findings."""
+        return not self.findings
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[LintRule]:
+    if select is None:
+        return [cls() for cls in registered_rules()]
+    instances = [rule_class(name)() for name in select]
+    if not instances:
+        raise LintUsageError("--select produced an empty rule set")
+    return instances
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> LintRun:
+    """Lint files/directories and return the partitioned findings.
+
+    Args:
+        paths: Files or directories (searched recursively for ``*.py``).
+        select: Rule names to run (default: every registered rule).
+        baseline: Fingerprints of accepted legacy findings (see
+            :func:`repro.lint.baseline.fingerprint`).
+        root: Directory findings' paths are reported relative to.
+    """
+    from repro.lint.baseline import fingerprint
+
+    rules = _select_rules(select)
+    raw: List[Finding] = []
+    suppressed: List[Finding] = []
+    lines_by_rel: Dict[str, List[str]] = {}
+    files = _iter_python_files(paths)
+    for file_path in files:
+        module = parse_module(file_path, root=root)
+        lines_by_rel[module.rel] = module.lines
+        module_findings: List[Finding] = []
+        for rule in rules:
+            module_findings.extend(rule.check(module))
+        for suppression in module.suppressions:
+            if not suppression.justification:
+                module_findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=suppression.line,
+                        col=1,
+                        rule=SUPPRESSION_RULE,
+                        message=(
+                            "suppression needs a justification: "
+                            "# repro-lint: disable=<rule> -- <why>"
+                        ),
+                    )
+                )
+        for found in module_findings:
+            silenced = found.rule != SUPPRESSION_RULE and any(
+                s.justification and s.covers(found.rule, found.line)
+                for s in module.suppressions
+            )
+            if silenced:
+                suppressed.append(found)
+            else:
+                raw.append(found)
+    raw.sort()
+    suppressed.sort()
+    baseline_set = set(baseline or ())
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: Dict[str, int] = {}
+    for found in raw:
+        file_lines = lines_by_rel.get(found.path, [])
+        text = ""
+        if 1 <= found.line <= len(file_lines):
+            text = file_lines[found.line - 1]
+        print_key = fingerprint(found, seen, text)
+        if print_key in baseline_set:
+            baselined.append(found)
+        else:
+            active.append(found)
+    return LintRun(
+        findings=active,
+        baselined=baselined,
+        suppressed=suppressed,
+        files=len(files),
+        rules=tuple(sorted({r.name for r in rules})),
+    )

@@ -1,0 +1,62 @@
+"""Finding and suppression records shared by the lint engine and rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Finding", "Suppression"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sort order (path, line, col, rule) is the report order, so runs are
+    reproducible regardless of rule registration order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of every report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> dict:
+        """JSON-reporter record (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` directive.
+
+    Attributes:
+        line: Physical line carrying the directive.
+        applies_to: Line the directive suppresses — the directive's own
+            line, or the next code line for a standalone comment.
+        rules: Rule names disabled (``("*",)`` disables every rule).
+        justification: Text after ``--``; suppressions without one are
+            themselves reported (the ``suppression-justification`` rule).
+    """
+
+    line: int
+    applies_to: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this directive silences ``rule`` findings on ``line``."""
+        if line != self.applies_to:
+            return False
+        return "*" in self.rules or rule in self.rules

@@ -1,0 +1,136 @@
+"""The lint-rule registry: the ``@register_system`` pattern for rules.
+
+Rules register with the :func:`register_rule` class decorator::
+
+    from repro.lint import LintRule, register_rule
+
+    @register_rule
+    class NoSleepRule(LintRule):
+        name = "no-sleep"
+        description = "time.sleep does not belong in pure functions"
+
+        def check(self, module):
+            ...yield Finding(...)
+
+and are then enforced by ``python -m repro.lint`` (and ``repro.cli
+lint``).  Re-registering an existing name with a different class raises
+:class:`~repro.errors.LintRuleError` — plugins cannot silently shadow
+builtins.  Third-party packages can auto-register via entry points in
+group ``"repro.lint_rules"``, each entry loading a module (or rule
+class) whose import performs the registration; discovery runs lazily and
+never fails the host process — a broken plugin is skipped, mirroring
+:mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.errors import LintRuleError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "LINT_ENTRY_POINT_GROUP",
+    "LintRule",
+    "register_rule",
+    "registered_rules",
+    "rule_class",
+    "discover_plugins",
+]
+
+#: Entry-point group scanned for third-party rules.
+LINT_ENTRY_POINT_GROUP = "repro.lint_rules"
+
+
+class LintRule:
+    """Base class of one AST invariant check.
+
+    Subclasses set ``name`` (the id used in reports, ``--select`` and
+    ``# repro-lint: disable=``) and ``description`` (one line, shown by
+    ``--list-rules``), then implement :meth:`check` as a generator of
+    :class:`Finding` records for one parsed module.  Rules hold no
+    per-run state — the engine instantiates each rule once per run.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module) -> Iterator[Finding]:
+        """Yield findings for one :class:`repro.lint.engine.SourceModule`."""
+        raise NotImplementedError
+
+
+# repro-lint: disable=worker-capture -- rule registry is populated at
+# import time (builtins + entry points); identical in every process.
+_RULES: Dict[str, Type[LintRule]] = {}
+# repro-lint: disable=worker-capture -- one-shot import-time discovery
+# latch; set before any worker dispatch can observe the registry.
+_discovered = False
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator registering a rule under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name or not isinstance(name, str):
+        raise LintRuleError(
+            f"{cls.__name__} needs a non-empty 'name' class attribute"
+        )
+    existing = _RULES.get(name)
+    if existing is not None and existing is not cls:
+        raise LintRuleError(
+            f"lint rule {name!r} is already registered to "
+            f"{existing.__name__}"
+        )
+    _RULES[name] = cls
+    return cls
+
+
+def discover_plugins() -> None:
+    """Load builtin + entry-point rules once (failure-tolerant)."""
+    global _discovered
+    if _discovered:
+        return
+    _discovered = True
+    # Builtins register on import; importing here (not at module top)
+    # keeps registry -> rules -> registry import order acyclic.
+    from repro.lint import rules as _builtin_rules  # noqa: F401
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py<3.8 has no importlib.metadata
+        return
+    try:
+        entries = metadata.entry_points()
+    except Exception:  # pragma: no cover - defensive
+        return
+    if hasattr(entries, "select"):
+        selected = entries.select(group=LINT_ENTRY_POINT_GROUP)
+    else:  # pragma: no cover - py<3.10 dict API
+        selected = entries.get(LINT_ENTRY_POINT_GROUP, [])
+    for entry in selected:
+        try:
+            loaded = entry.load()
+        except Exception:  # pragma: no cover - broken plugin is skipped
+            continue
+        if isinstance(loaded, type) and issubclass(loaded, LintRule):
+            try:
+                register_rule(loaded)
+            except LintRuleError:
+                pass
+
+
+def registered_rules() -> List[Type[LintRule]]:
+    """Every registered rule class, sorted by name (triggers discovery)."""
+    discover_plugins()
+    return [_RULES[name] for name in sorted(_RULES)]
+
+
+def rule_class(name: str) -> Type[LintRule]:
+    """Look up one registered rule (triggers discovery)."""
+    discover_plugins()
+    try:
+        return _RULES[name]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise LintRuleError(
+            f"unknown lint rule {name!r}; registered rules: {known}"
+        ) from None

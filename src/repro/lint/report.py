@@ -1,0 +1,71 @@
+"""Human and JSON reporters over one :class:`~repro.lint.engine.LintRun`."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import LintRun
+from repro.lint.findings import Finding
+
+__all__ = ["render_human", "render_json"]
+
+
+def _group_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for found in findings:
+        counts[found.rule] = counts.get(found.rule, 0) + 1
+    return counts
+
+
+def render_human(run: LintRun, *, stale: Sequence[str] = ()) -> str:
+    """The terminal report: one ``path:line:col rule message`` per finding."""
+    lines: List[str] = []
+    for found in run.findings:
+        lines.append(f"{found.location()}: [{found.rule}] {found.message}")
+    if run.findings:
+        lines.append("")
+        counts = _group_by_rule(run.findings)
+        breakdown = ", ".join(
+            f"{rule}={counts[rule]}" for rule in sorted(counts)
+        )
+        lines.append(
+            f"{len(run.findings)} finding"
+            f"{'s' if len(run.findings) != 1 else ''} ({breakdown}) "
+            f"in {run.files} file{'s' if run.files != 1 else ''}"
+        )
+    else:
+        lines.append(
+            f"clean: {run.files} file{'s' if run.files != 1 else ''}, "
+            f"{len(run.rules)} rule{'s' if len(run.rules) != 1 else ''}"
+        )
+    if run.baselined:
+        lines.append(
+            f"{len(run.baselined)} baselined (legacy burn-down backlog)"
+        )
+    if run.suppressed:
+        lines.append(
+            f"{len(run.suppressed)} suppressed by justified inline "
+            "directives"
+        )
+    if stale:
+        lines.append(
+            f"{len(stale)} stale baseline entr"
+            f"{'ies' if len(stale) != 1 else 'y'} (fixed code still "
+            "listed; refresh with --update-baseline)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun, *, stale: Sequence[str] = ()) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "files": run.files,
+        "rules": list(run.rules),
+        "findings": [f.to_json() for f in run.findings],
+        "baselined": [f.to_json() for f in run.baselined],
+        "suppressed": [f.to_json() for f in run.suppressed],
+        "stale_baseline": sorted(stale),
+        "clean": run.clean,
+    }
+    return json.dumps(payload, indent=2)

@@ -19,6 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.errors import ModelShapeError, ModelStateError, OptimizerConfigError
 from repro.model.embedding import EmbeddingTable
 from repro.model.mlp import MLP
 
@@ -46,9 +47,9 @@ class SparseAdagrad:
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
-            raise ValueError(f"lr must be positive, got {self.lr}")
+            raise OptimizerConfigError(f"lr must be positive, got {self.lr}")
         if self.num_rows < 1:
-            raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
+            raise OptimizerConfigError(f"num_rows must be >= 1, got {self.num_rows}")
         self._state = np.zeros(self.num_rows, dtype=self.state_dtype)
 
     def update(
@@ -57,7 +58,7 @@ class SparseAdagrad:
         """Apply coalesced gradients to ``weights`` rows in place."""
         unique_ids = np.asarray(unique_ids).reshape(-1)
         if grads.shape[0] != unique_ids.shape[0]:
-            raise ValueError("ids/grads length mismatch")
+            raise ModelShapeError("ids/grads length mismatch")
         if unique_ids.size == 0:
             return
         row_norm_sq = (grads.astype(self.state_dtype) ** 2).mean(axis=1)
@@ -83,7 +84,7 @@ class DenseAdagrad:
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
-            raise ValueError(f"lr must be positive, got {self.lr}")
+            raise OptimizerConfigError(f"lr must be positive, got {self.lr}")
 
     def step(self, mlp: MLP) -> None:
         """Apply the cached gradients of every layer with Adagrad scaling."""
@@ -100,7 +101,7 @@ class DenseAdagrad:
         n = len(mlp.layers)
         for i, layer in enumerate(mlp.layers):
             if layer.grad_weight is None or layer.grad_bias is None:
-                raise RuntimeError("step called before backward")
+                raise ModelStateError("step called before backward")
             state[i] += layer.grad_weight.astype(np.float64) ** 2
             state[n + i] += layer.grad_bias.astype(np.float64) ** 2
             layer.weight -= (

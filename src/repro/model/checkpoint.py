@@ -14,6 +14,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import CheckpointFormatError
 from repro.model.dlrm import DLRMModel
 
 #: Format marker stored inside every checkpoint.
@@ -56,18 +57,18 @@ def load_checkpoint(path: Union[str, Path], model: DLRMModel) -> None:
     archive = np.load(Path(path))
     version = int(archive["format_version"])
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise CheckpointFormatError(
             f"unsupported checkpoint format {version}; expected {FORMAT_VERSION}"
         )
     if int(archive["num_tables"]) != model.config.num_tables:
-        raise ValueError(
+        raise CheckpointFormatError(
             f"checkpoint has {int(archive['num_tables'])} tables; model has "
             f"{model.config.num_tables}"
         )
     for t, table in enumerate(model.tables):
         saved = archive[f"table_{t}"]
         if saved.shape != table.weights.shape:
-            raise ValueError(
+            raise CheckpointFormatError(
                 f"table {t} shape mismatch: {saved.shape} vs "
                 f"{table.weights.shape}"
             )
@@ -78,7 +79,7 @@ def load_checkpoint(path: Union[str, Path], model: DLRMModel) -> None:
     ):
         saved_layers = int(archive[f"{name}_layers"])
         if saved_layers != len(mlp.layers):
-            raise ValueError(
+            raise CheckpointFormatError(
                 f"{name} MLP layer count mismatch: {saved_layers} vs "
                 f"{len(mlp.layers)}"
             )
@@ -86,7 +87,7 @@ def load_checkpoint(path: Union[str, Path], model: DLRMModel) -> None:
             weight = archive[f"{name}_w{i}"]
             bias = archive[f"{name}_b{i}"]
             if weight.shape != layer.weight.shape:
-                raise ValueError(f"{name} layer {i} weight shape mismatch")
+                raise CheckpointFormatError(f"{name} layer {i} weight shape mismatch")
             layer.weight[...] = weight
             layer.bias[...] = bias
 

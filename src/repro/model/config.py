@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from typing import Tuple
+from repro.errors import ModelConfigError
 
 #: Bytes per embedding element (FP32, as in the paper's 4-byte math).
 ELEMENT_BYTES = 4
@@ -44,32 +45,32 @@ class ModelConfig:
 
     def __post_init__(self) -> None:
         if self.num_tables < 1:
-            raise ValueError(f"num_tables must be >= 1, got {self.num_tables}")
+            raise ModelConfigError(f"num_tables must be >= 1, got {self.num_tables}")
         if self.rows_per_table < 1:
-            raise ValueError(
+            raise ModelConfigError(
                 f"rows_per_table must be >= 1, got {self.rows_per_table}"
             )
         if self.embedding_dim < 1:
-            raise ValueError(
+            raise ModelConfigError(
                 f"embedding_dim must be >= 1, got {self.embedding_dim}"
             )
         if self.lookups_per_table < 1:
-            raise ValueError(
+            raise ModelConfigError(
                 f"lookups_per_table must be >= 1, got {self.lookups_per_table}"
             )
         if self.batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+            raise ModelConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if not self.bottom_mlp:
-            raise ValueError("bottom_mlp must have at least one layer")
+            raise ModelConfigError("bottom_mlp must have at least one layer")
         if not self.top_mlp:
-            raise ValueError("top_mlp must have at least one layer")
+            raise ModelConfigError("top_mlp must have at least one layer")
         if self.bottom_mlp[-1] != self.embedding_dim:
-            raise ValueError(
+            raise ModelConfigError(
                 "bottom_mlp must end with embedding_dim "
                 f"({self.embedding_dim}), got {self.bottom_mlp[-1]}"
             )
         if self.top_mlp[-1] != 1:
-            raise ValueError(
+            raise ModelConfigError(
                 f"top_mlp must end with a single logit, got {self.top_mlp[-1]}"
             )
 

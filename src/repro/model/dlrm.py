@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ModelShapeError, ModelStateError
 from repro.data.trace import MiniBatch
 from repro.model.config import ModelConfig
 from repro.model.embedding import EmbeddingTable, initialise_tables
@@ -71,7 +72,7 @@ class DenseNetwork:
     def loss(self, labels: np.ndarray) -> float:
         """BCE loss of the most recent forward pass."""
         if self._logits is None:
-            raise RuntimeError("loss called before forward")
+            raise ModelStateError("loss called before forward")
         return bce_with_logits(self._logits, labels)
 
     def backward(self, labels: np.ndarray) -> np.ndarray:
@@ -83,7 +84,7 @@ class DenseNetwork:
         the MLP layers until :meth:`step`.
         """
         if self._logits is None:
-            raise RuntimeError("backward called before forward")
+            raise ModelStateError("backward called before forward")
         grad_logits = bce_with_logits_grad(self._logits, labels)
         grad_interacted = self.top_mlp.backward(grad_logits[:, None])
         grad_bottom_out, grad_pooled = self.interaction.backward(grad_interacted)
@@ -146,7 +147,7 @@ class DLRMModel:
     def train_step(self, batch: MiniBatch) -> float:
         """One full forward/backward/update iteration; returns the loss."""
         if batch.dense is None or batch.labels is None:
-            raise ValueError("train_step requires a batch with dense features "
+            raise ModelShapeError("train_step requires a batch with dense features "
                              "and labels (with_dense=True datasets)")
         pooled = self.pooled_embeddings(batch)
         self.dense_network.forward(batch.dense, pooled)
@@ -162,7 +163,7 @@ class DLRMModel:
     def predict(self, batch: MiniBatch) -> np.ndarray:
         """Forward-only CTR probabilities for a batch."""
         if batch.dense is None:
-            raise ValueError("predict requires dense features")
+            raise ModelShapeError("predict requires dense features")
         pooled = self.pooled_embeddings(batch)
         logits = self.dense_network.forward(batch.dense, pooled)
         # Stable sigmoid via the loss module's helper.

@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ModelConfigError, ModelShapeError
 from repro.model.config import ModelConfig
 
 
@@ -48,7 +49,7 @@ def sum_pool(gathered: np.ndarray) -> np.ndarray:
         ``(batch, dim)`` pooled embeddings.
     """
     if gathered.ndim != 3:
-        raise ValueError(
+        raise ModelShapeError(
             f"expected (batch, lookups, dim) input, got shape {gathered.shape}"
         )
     return gathered.sum(axis=1)
@@ -68,11 +69,11 @@ def duplicate_gradients(pooled_grad: np.ndarray, lookups: int) -> np.ndarray:
         ``(batch, lookups, dim)`` duplicated per-lookup gradients.
     """
     if pooled_grad.ndim != 2:
-        raise ValueError(
+        raise ModelConfigError(
             f"expected (batch, dim) pooled gradient, got shape {pooled_grad.shape}"
         )
     if lookups < 1:
-        raise ValueError(f"lookups must be >= 1, got {lookups}")
+        raise ModelConfigError(f"lookups must be >= 1, got {lookups}")
     return np.broadcast_to(
         pooled_grad[:, None, :],
         (pooled_grad.shape[0], lookups, pooled_grad.shape[1]),
@@ -95,7 +96,7 @@ def coalesce_gradients(
     """
     ids = np.asarray(ids).reshape(-1)
     if grads.shape[0] != ids.shape[0]:
-        raise ValueError(
+        raise ModelShapeError(
             f"ids ({ids.shape[0]}) and grads ({grads.shape[0]}) length mismatch"
         )
     unique_ids, inverse = np.unique(ids, return_inverse=True)
@@ -117,7 +118,7 @@ def sgd_scatter(
     """
     ids = np.asarray(ids).reshape(-1)
     if np.unique(ids).shape[0] != ids.shape[0]:
-        raise ValueError("sgd_scatter requires unique IDs; coalesce first")
+        raise ModelShapeError("sgd_scatter requires unique IDs; coalesce first")
     table[ids] -= lr * grads
 
 
@@ -133,7 +134,7 @@ class EmbeddingTable:
 
     def __post_init__(self) -> None:
         if self.weights.ndim != 2:
-            raise ValueError(
+            raise ModelShapeError(
                 f"weights must be 2-D (rows, dim), got shape {self.weights.shape}"
             )
 
@@ -158,7 +159,7 @@ class EmbeddingTable:
     def forward(self, ids: np.ndarray) -> np.ndarray:
         """Gather + sum-pool: ``(batch, lookups)`` IDs -> ``(batch, dim)``."""
         if ids.ndim != 2:
-            raise ValueError(
+            raise ModelShapeError(
                 f"expected (batch, lookups) ids, got shape {ids.shape}"
             )
         return sum_pool(gather_rows(self.weights, ids))

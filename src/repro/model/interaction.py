@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
+from repro.errors import ModelShapeError, ModelStateError
 
 
 @dataclass
@@ -35,12 +36,12 @@ class DotInteraction:
             bottom output concatenated with the pairwise dot products.
         """
         if bottom_out.ndim != 2 or pooled.ndim != 3:
-            raise ValueError(
+            raise ModelShapeError(
                 "expected bottom_out (batch, dim) and pooled "
                 f"(batch, tables, dim), got {bottom_out.shape} and {pooled.shape}"
             )
         if bottom_out.shape[1] != pooled.shape[2]:
-            raise ValueError(
+            raise ModelShapeError(
                 "bottom output dim "
                 f"({bottom_out.shape[1]}) must equal embedding dim "
                 f"({pooled.shape[2]})"
@@ -65,7 +66,7 @@ class DotInteraction:
             ``(batch, num_tables, dim)``.
         """
         if self._vectors is None:
-            raise RuntimeError("backward called before forward")
+            raise ModelStateError("backward called before forward")
         vectors = self._vectors
         batch, n, dim = vectors.shape
         grad_direct = grad_out[:, :dim]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from repro.errors import ModelShapeError
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
@@ -24,7 +25,7 @@ def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> float:
     z = logits.reshape(-1).astype(np.float64)
     y = labels.reshape(-1).astype(np.float64)
     if z.shape != y.shape:
-        raise ValueError(f"logits {z.shape} and labels {y.shape} mismatch")
+        raise ModelShapeError(f"logits {z.shape} and labels {y.shape} mismatch")
     per_sample = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
     return float(per_sample.mean())
 
@@ -38,6 +39,6 @@ def bce_with_logits_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
     z = logits.reshape(-1)
     y = labels.reshape(-1)
     if z.shape != y.shape:
-        raise ValueError(f"logits {z.shape} and labels {y.shape} mismatch")
+        raise ModelShapeError(f"logits {z.shape} and labels {y.shape} mismatch")
     grad = (sigmoid(z.astype(np.float64)) - y.astype(np.float64)) / z.shape[0]
     return grad.reshape(logits.shape).astype(np.float32)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from repro.errors import ModelConfigError, ModelShapeError, ModelStateError
 
 
 @dataclass
@@ -42,7 +43,7 @@ class LinearLayer:
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Accumulate parameter grads and return the input gradient."""
         if self._input is None:
-            raise RuntimeError("backward called before forward")
+            raise ModelStateError("backward called before forward")
         self.grad_weight = self._input.T @ grad_out
         self.grad_bias = grad_out.sum(axis=0)
         return grad_out @ self.weight.T
@@ -50,7 +51,7 @@ class LinearLayer:
     def step(self, lr: float) -> None:
         """Apply one SGD update from the cached gradients."""
         if self.grad_weight is None or self.grad_bias is None:
-            raise RuntimeError("step called before backward")
+            raise ModelStateError("step called before backward")
         self.weight -= lr * self.grad_weight
         self.bias -= lr * self.grad_bias
         self.grad_weight = None
@@ -75,7 +76,7 @@ class MLP:
     ) -> "MLP":
         """Create an MLP with the given hidden sizes."""
         if not hidden:
-            raise ValueError("hidden must contain at least one layer size")
+            raise ModelConfigError("hidden must contain at least one layer size")
         layers = []
         fan_in = input_features
         for fan_out in hidden:
@@ -99,7 +100,7 @@ class MLP:
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backward pass; returns the gradient w.r.t. the MLP input."""
         if len(self._relu_masks) != len(self.layers) - 1:
-            raise RuntimeError("backward called before forward")
+            raise ModelStateError("backward called before forward")
         grad = grad_out
         for i in range(len(self.layers) - 1, -1, -1):
             if i != len(self.layers) - 1:
@@ -119,9 +120,9 @@ class MLP:
     def copy_parameters_from(self, other: "MLP") -> None:
         """Copy another MLP's parameters into this one (shapes must match)."""
         if len(self.layers) != len(other.layers):
-            raise ValueError("layer count mismatch")
+            raise ModelShapeError("layer count mismatch")
         for mine, theirs in zip(self.layers, other.layers):
             if mine.weight.shape != theirs.weight.shape:
-                raise ValueError("layer shape mismatch")
+                raise ModelShapeError("layer shape mismatch")
             mine.weight[...] = theirs.weight
             mine.bias[...] = theirs.bias

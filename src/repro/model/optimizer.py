@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import OptimizerConfigError
 from repro.model.embedding import EmbeddingTable
 from repro.model.mlp import MLP
 
@@ -28,7 +29,7 @@ class SGD:
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
-            raise ValueError(f"lr must be positive, got {self.lr}")
+            raise OptimizerConfigError(f"lr must be positive, got {self.lr}")
 
     def step_dense(self, mlp: MLP) -> None:
         """Apply cached gradients to every layer of an MLP."""

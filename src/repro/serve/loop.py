@@ -28,6 +28,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import ServeConfigError
 from repro.core.pipeline import PRICED_STAGE_OFFSETS
 from repro.serve.arrivals import ArrivalSpec, ServeSpec, arrival_times
 from repro.serve.report import PERCENTILES, ServeReport, exact_percentiles
@@ -110,9 +111,9 @@ def replay(
         spec = serve
     n = len(trace) if num_batches is None else num_batches
     if n < 1:
-        raise ValueError(f"num_batches must be >= 1, got {n}")
+        raise ServeConfigError(f"num_batches must be >= 1, got {n}")
     if warmup < 0:
-        raise ValueError(f"warmup must be >= 0, got {warmup}")
+        raise ServeConfigError(f"warmup must be >= 0, got {warmup}")
 
     service = _service_times(system, trace, n)
     arrivals = arrival_times(spec.arrivals, spec.seed, n)

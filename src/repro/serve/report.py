@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
+from repro.errors import ServeReportError
 
 #: The quantiles every serve report carries, in order.
 PERCENTILES = (0.50, 0.95, 0.99)
@@ -21,12 +22,12 @@ def exact_percentiles(
 ) -> Tuple[float, ...]:
     """Nearest-rank percentiles of ``values`` (must be non-empty)."""
     if len(values) == 0:
-        raise ValueError("cannot take percentiles of an empty series")
+        raise ServeReportError("cannot take percentiles of an empty series")
     ordered = sorted(float(v) for v in values)
     out = []
     for q in quantiles:
         if not 0.0 < q <= 1.0:
-            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+            raise ServeReportError(f"quantile must be in (0, 1], got {q!r}")
         rank = max(1, math.ceil(q * len(ordered)))
         out.append(ordered[rank - 1])
     return tuple(out)

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import SystemConfigError, SystemInputError
 from repro.core.pipeline import HazardMonitor, ScratchPipePipeline
 from repro.core.scratchpad import GpuScratchpad, TablePlan, per_table
 from repro.data.trace import MiniBatch
@@ -43,7 +44,7 @@ def augment_tables(tables: Sequence[np.ndarray]) -> List[np.ndarray]:
     out = []
     for table in tables:
         if table.ndim != 2:
-            raise ValueError(f"expected (rows, dim) table, got {table.shape}")
+            raise SystemConfigError(f"expected (rows, dim) table, got {table.shape}")
         aux = np.zeros((table.shape[0], 1), dtype=np.float32)
         out.append(np.concatenate([table.astype(np.float32), aux], axis=1))
     return out
@@ -69,7 +70,7 @@ class AdagradScratchPipeTrainer:
 
     def __post_init__(self) -> None:
         if self.lr <= 0:
-            raise ValueError(f"lr must be positive, got {self.lr}")
+            raise SystemConfigError(f"lr must be positive, got {self.lr}")
         self.dense_optimizer = DenseAdagrad(lr=self.lr, eps=self.eps)
 
     def train(
@@ -80,7 +81,7 @@ class AdagradScratchPipeTrainer:
     ) -> float:
         """One training iteration; weights and accumulators live together."""
         if batch.dense is None or batch.labels is None:
-            raise ValueError("functional training requires dense inputs/labels")
+            raise SystemInputError("functional training requires dense inputs/labels")
         cfg = self.config
         dim = cfg.embedding_dim
 

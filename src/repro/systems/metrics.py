@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import SystemConfigError
 from repro.hardware.spec import AwsInstance
 from repro.model.config import ModelConfig
 from repro.systems.base import SystemRunResult
@@ -65,7 +66,7 @@ def throughput_report(
         warmup: Iterations excluded from the steady-state means.
     """
     if dataset_samples < 1:
-        raise ValueError(f"dataset_samples must be >= 1, got {dataset_samples}")
+        raise SystemConfigError(f"dataset_samples must be >= 1, got {dataset_samples}")
     iteration = result.mean_latency(warmup=warmup)
     energy = result.mean_energy(warmup=warmup)
     if iteration <= 0.0:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import SystemConfigError
 from repro.model.config import ModelConfig, dense_parameter_bytes
 from repro.systems.base import (
     BatchAccessStats,
@@ -54,7 +55,7 @@ class MultiGpuSystem(TrainingSystem):
     def __init__(self, config: ModelConfig, hardware, num_gpus: int = 8) -> None:
         super().__init__(config, hardware)
         if num_gpus < 1:
-            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+            raise SystemConfigError(f"num_gpus must be >= 1, got {num_gpus}")
         self.num_gpus = num_gpus
 
     @classmethod

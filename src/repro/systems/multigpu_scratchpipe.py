@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.errors import SystemConfigError
 from repro.core.pipeline import BatchCacheStats
 from repro.hardware.energy import CPU, GPU, EnergySlice
 from repro.model.config import ModelConfig, dense_parameter_bytes
@@ -86,9 +87,9 @@ class MultiGpuScratchPipeSystem(TrainingSystem):
             raise InvalidSystemSpecError(f"{self.name} requires a cache spec")
         num_gpus = spec.num_gpus
         if num_gpus < 1:
-            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+            raise SystemConfigError(f"num_gpus must be >= 1, got {num_gpus}")
         if config.num_tables % num_gpus != 0:
-            raise ValueError(
+            raise SystemConfigError(
                 f"num_gpus ({num_gpus}) must divide num_tables "
                 f"({config.num_tables}) for table-wise partitioning"
             )
@@ -196,7 +197,7 @@ def tco_comparison(
     the latter to be well below 1 (Section VI-G).
     """
     if single_gpu_latency <= 0 or multi_gpu_latency <= 0:
-        raise ValueError("latencies must be positive")
+        raise SystemConfigError("latencies must be positive")
     speedup = single_gpu_latency / multi_gpu_latency
     single_cost = single_gpu_price_hr * single_gpu_latency
     multi_cost = price_per_gpu_hr * num_gpus * multi_gpu_latency

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.errors import SystemInputError
 from repro.api.registry import register_system
 from repro.api.specs import (
     CacheSpec,
@@ -448,7 +449,7 @@ class ScratchPipeTrainer:
     ) -> float:
         """Run one full training iteration against the scratchpads."""
         if batch.dense is None or batch.labels is None:
-            raise ValueError("functional training requires dense inputs/labels")
+            raise SystemInputError("functional training requires dense inputs/labels")
         cfg = self.config
         slot_maps = []
         pooled_columns = []

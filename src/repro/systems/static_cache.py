@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.errors import SystemConfigError
 from repro.api.registry import register_system
 from repro.api.specs import InvalidSystemSpecError, SystemSpec
 from repro.core.scratchpad import per_table
@@ -213,7 +214,7 @@ class StaticCacheTrainer:
 
     def __post_init__(self) -> None:
         if not 0 <= self.hot_rows <= self.config.rows_per_table:
-            raise ValueError(
+            raise SystemConfigError(
                 f"hot_rows must be in [0, {self.config.rows_per_table}], "
                 f"got {self.hot_rows}"
             )

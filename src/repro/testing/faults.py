@@ -45,6 +45,8 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Iterator, Optional, Tuple
+from repro._env import read_env, remove_env, write_env
+from repro.errors import FaultSpecError
 
 #: Environment variable carrying the JSON-encoded active plan.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -86,14 +88,14 @@ class FaultSpec:
 
     def __post_init__(self) -> None:
         if self.mode not in FAULT_MODES:
-            raise ValueError(
+            raise FaultSpecError(
                 f"unknown fault mode {self.mode!r}; expected one of "
                 f"{FAULT_MODES}"
             )
         if self.times < 1:
-            raise ValueError(f"times must be >= 1, got {self.times}")
+            raise FaultSpecError(f"times must be >= 1, got {self.times}")
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError(
+            raise FaultSpecError(
                 f"probability must be in [0, 1], got {self.probability}"
             )
 
@@ -124,6 +126,9 @@ class FaultPlan:
 
 
 #: Per-process arrival counters, keyed by site name.
+# repro-lint: disable=worker-capture -- deliberately per-process: fault
+# specs count arrivals within one process, and _worker_init calls
+# reset_arrivals() so spawn and fork workers start from zero alike.
 _ARRIVALS: Counter = Counter()
 
 
@@ -205,7 +210,7 @@ def fault_point(site: str, detail: str = "") -> None:
     :data:`FAULT_PLAN_ENV`.  At most one spec fires per arrival — the
     first eligible one in plan order.
     """
-    encoded = os.environ.get(FAULT_PLAN_ENV)
+    encoded = read_env(FAULT_PLAN_ENV)
     if not encoded:
         return
     plan = _parse_plan(encoded)
@@ -239,22 +244,22 @@ def injected_faults(
     """
     os.makedirs(state_dir, exist_ok=True)
     plan = FaultPlan(faults=tuple(specs), state_dir=str(state_dir))
-    previous = os.environ.get(FAULT_PLAN_ENV)
-    os.environ[FAULT_PLAN_ENV] = plan.to_json()
+    previous = read_env(FAULT_PLAN_ENV)
+    write_env(FAULT_PLAN_ENV, plan.to_json())
     reset_arrivals()
     try:
         yield plan
     finally:
         if previous is None:
-            os.environ.pop(FAULT_PLAN_ENV, None)
+            remove_env(FAULT_PLAN_ENV)
         else:
-            os.environ[FAULT_PLAN_ENV] = previous
+            write_env(FAULT_PLAN_ENV, previous)
         reset_arrivals()
 
 
 def active_plan() -> Optional[FaultPlan]:
     """The currently installed plan, or ``None``."""
-    encoded = os.environ.get(FAULT_PLAN_ENV)
+    encoded = read_env(FAULT_PLAN_ENV)
     if not encoded:
         return None
     return _parse_plan(encoded)

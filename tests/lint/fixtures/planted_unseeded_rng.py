@@ -1,0 +1,15 @@
+"""Deliberately violating fixture: the linter must catch this file.
+
+Linted only by tests/lint/test_self_check.py — never imported, never on
+the CI lint path.  If the determinism rule regresses, the self-check
+fails here before any real violation lands in src/repro.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return np.random.rand() + random.random() + time.time()

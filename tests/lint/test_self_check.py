@@ -1,0 +1,49 @@
+"""The linter's own acceptance gates.
+
+``src/repro`` must lint clean with the committed (empty) baseline, every
+inline suppression in the tree must be justified, and a planted
+unseeded-RNG fixture must be caught — proving a clean run means the
+rules fired, not that they silently skipped everything.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_baseline
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestSelfCheck:
+    def test_src_repro_lints_clean(self):
+        run = lint_paths([SRC], root=REPO)
+        assert run.clean, "\n".join(
+            f"{f.location()}: [{f.rule}] {f.message}" for f in run.findings
+        )
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(REPO / "lint-baseline.json") == []
+
+    def test_every_suppression_in_tree_is_justified(self):
+        # lint_paths reports unjustified directives as findings; a clean
+        # run therefore implies every suppression carries its why.  Spot
+        # check the partition too: the tree does use suppressions.
+        run = lint_paths([SRC], root=REPO)
+        assert run.suppressed, "expected justified suppressions in tree"
+        assert all(
+            f.rule != "suppression-justification" for f in run.findings
+        )
+
+    def test_planted_unseeded_rng_fixture_is_caught(self):
+        run = lint_paths(
+            [FIXTURES / "planted_unseeded_rng.py"],
+            select=["determinism"],
+            root=FIXTURES,
+        )
+        flagged = {f.message.split("(")[0].strip() for f in run.findings}
+        assert len(run.findings) == 3, flagged
+        messages = " ".join(f.message for f in run.findings)
+        assert "numpy.random.rand" in messages
+        assert "random.random" in messages
+        assert "time.time" in messages

@@ -1,0 +1,84 @@
+"""Regression tests for the named error taxonomy (repro.errors).
+
+Two guarantees: every taxonomy class subclasses the builtin it refines
+(so ``except ValueError`` call sites written before the conversion keep
+working), and representative converted raise sites across the layers
+actually produce their named class.
+"""
+
+import pytest
+
+from repro import errors
+from repro.analysis.sweep import run_grid
+from repro.core.hitmap import HitMap
+from repro.data.distributions import ZipfDistribution
+from repro.hardware.spec import MemorySpec
+from repro.model.config import ModelConfig
+from repro.testing.faults import FaultSpec
+
+
+class TestHierarchy:
+    def test_every_taxonomy_class_refines_a_builtin(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(
+                cls, (ValueError, RuntimeError, KeyError)
+            ), f"{name} must refine the builtin it replaced"
+
+    def test_state_errors_are_runtime_errors(self):
+        for cls in (errors.ModelStateError, errors.ScratchpadStateError,
+                    errors.ReplacementStateError):
+            assert issubclass(cls, RuntimeError)
+            assert not issubclass(cls, ValueError)
+
+    def test_lookup_errors_are_key_errors(self):
+        for cls in (errors.UncachedKeyError, errors.PlanCoverageError):
+            assert issubclass(cls, KeyError)
+
+    def test_all_exports_match_module_contents(self):
+        exported = set(errors.__all__)
+        defined = {
+            name for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        }
+        assert exported == defined
+
+
+class TestConvertedSites:
+    """One representative converted raise per layer.
+
+    Each assertion is doubled: the named class fires, and the pre-
+    conversion builtin still catches it.
+    """
+
+    def test_model_layer(self):
+        with pytest.raises(errors.ModelConfigError):
+            ModelConfig(num_tables=0, rows_per_table=10,
+                        embedding_dim=4, lookups_per_table=1, batch_size=2)
+        with pytest.raises(ValueError):
+            ModelConfig(num_tables=0, rows_per_table=10,
+                        embedding_dim=4, lookups_per_table=1, batch_size=2)
+
+    def test_core_layer(self):
+        with pytest.raises(errors.HitMapConfigError):
+            HitMap(num_slots=-1, num_rows=10)
+
+    def test_data_layer(self):
+        with pytest.raises(errors.DistributionConfigError):
+            ZipfDistribution(num_rows=0, exponent=1.0)
+
+    def test_hardware_layer_validates_eagerly(self):
+        # __post_init__ (the spec-purity contract): construction fails,
+        # not first use.
+        with pytest.raises(errors.HardwareSpecError):
+            MemorySpec("hbm", 0, 1.0, 0.5, 0.5)
+        with pytest.raises(errors.HardwareSpecError):
+            MemorySpec("hbm", 1024, 1.0, 1.5, 0.5)
+
+    def test_analysis_layer(self):
+        with pytest.raises(errors.SweepConfigError):
+            run_grid([], workers=0)
+
+    def test_testing_layer(self):
+        with pytest.raises(errors.FaultSpecError):
+            FaultSpec(site="x", mode="nope")

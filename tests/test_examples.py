@@ -82,6 +82,22 @@ class TestFastExamples:
         assert "Criteo" in out and "Alibaba" in out
         assert "anchor points" in out
 
+    def test_lint_custom_rule(self, capsys):
+        from repro.lint.registry import _RULES
+
+        # runpy re-executes the module, so drop any registration left by
+        # an earlier run and clean up after: the demo rule must not leak
+        # into the self-check tests, which run every registered rule.
+        _RULES.pop("example-no-print", None)
+        try:
+            run_example("lint_custom_rule.py")
+            out = capsys.readouterr().out
+            assert "custom rule enforced:  True" in out
+            assert "sim.py:5:9: [example-no-print]" in out
+            assert "suppressed with justification" in out
+        finally:
+            _RULES.pop("example-no-print", None)
+
 
 class TestExampleFilesPresent:
     @pytest.mark.parametrize("name", [
