@@ -18,7 +18,10 @@ Measured per PR:
   data movement through the preallocated staging rings;
 * the retained seed path (legacy dict hazard monitor, per-cycle
   ``np.unique``, full-scan victim selection) at the acceptance scale, and
-  the speedup over both it and the recorded PR 1 entry.
+  the speedup over both it and the previous PR's recorded entry;
+* a ``pipelined`` lane: the acceptance scale run through the
+  ``overlapped`` stage executor, recording what the cross-process
+  Plan-ahead handoff costs (single-core boxes) or buys (multi-core).
 
 ``REPRO_SKIP_PERF_ASSERT=1`` records the trajectory without asserting the
 speedup/flatness thresholds (for shared or overloaded boxes).
@@ -33,7 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.api import CacheSpec, SystemSpec, build_system
+from repro.api import CacheSpec, PipelineSpec, SystemSpec, build_system
 from repro.core.pipeline import HazardMonitor, ScratchPipePipeline
 from repro.data.trace import MaterialisedDataset, make_dataset
 from repro.hardware.spec import DEFAULT_HARDWARE
@@ -44,12 +47,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Entries are keyed by label so re-runs update in place and each PR's
-#: perf pass appends one trajectory point.  PR 8 adds the live-replay
-#: serve harness alongside the pipeline — the metadata pipeline itself is
-#: untouched, so this entry confirms no regression against the PR 5
-#: baseline.
-RUN_LABEL = "pr8-live-serve"
-PREVIOUS_LABEL = "pr5-trace-ingestion"
+#: perf pass appends one trajectory point.  PR 10 introduces the pluggable
+#: stage-executor backends and reworks the Hit-Map TLB, the RAW-4
+#: bookkeeping and the victim-selection walk; alongside the serial lanes
+#: it records a ``pipelined`` lane (the ``overlapped`` executor at the
+#: acceptance scale) so the cross-process backend's overhead/benefit is
+#: part of the trajectory.
+RUN_LABEL = "pr10-overlapped-pipeline"
+PREVIOUS_LABEL = "pr8-live-serve"
 
 #: Metadata-only pipeline scales: (tables, rows/table, batch, lookups,
 #: trace length, scratchpad slots).
@@ -92,10 +97,11 @@ FUNCTIONAL_SCALE = dict(
 #: both directions while staying robust to wall-clock noise.
 MIN_ACCEPTANCE_SPEEDUP = 12.0
 #: Advisory only (recorded + printed, asserted solely under
-#: ``REPRO_STRICT_PERF=1``): the PR 1 entry's batches/sec was recorded on
-#: the PR 1 box, so the ratio is only meaningful when this run uses
-#: comparable hardware.  Measured 2.4x on an idle box, 1.8x loaded.
-MIN_SPEEDUP_VS_PR1 = 1.7
+#: ``REPRO_STRICT_PERF=1``): the previous entry's batches/sec was recorded
+#: on that PR's box, so the ratio is only meaningful when this run uses
+#: comparable hardware.  1.0 is a no-regression gate against the PR 8
+#: entry; PR 10 measures ~1.1-1.2x on the same box.
+MIN_SPEEDUP_VS_PREVIOUS = 1.0
 MAX_FLATNESS_RATIO = 2.0
 
 
@@ -117,7 +123,11 @@ def _trace(cfg: ModelConfig, scale: dict) -> MaterialisedDataset:
     )
 
 
-def _time_fast_path(scale: dict, trace: MaterialisedDataset = None) -> float:
+def _time_fast_path(
+    scale: dict,
+    trace: MaterialisedDataset = None,
+    executor: str = "serial",
+) -> float:
     """Seconds for one monitored metadata-only run on the current code."""
     cfg = _config(scale)
     if trace is None:
@@ -126,6 +136,7 @@ def _time_fast_path(scale: dict, trace: MaterialisedDataset = None) -> float:
         SystemSpec(
             system="scratchpipe",
             cache=CacheSpec(fraction=scale["slots"] / scale["rows"]),
+            pipeline=PipelineSpec(executor=executor),
         ),
         cfg, DEFAULT_HARDWARE,
     )
@@ -183,7 +194,7 @@ def _time_functional(scale: dict) -> float:
 
 
 def _previous_acceptance_bps(data: dict) -> float:
-    """batches/sec of the PR 1 entry's acceptance scale (0.0 if absent)."""
+    """batches/sec of the previous entry's acceptance scale (0.0 if absent)."""
     for run in data.get("runs", []):
         if run.get("label") == PREVIOUS_LABEL:
             return float(
@@ -250,6 +261,21 @@ def test_perf_pipeline_throughput_and_speedup():
     }
     speedup = seed_seconds / fast_seconds
 
+    # The PR 10 ``pipelined`` lane: the same monitored acceptance run
+    # through the ``overlapped`` executor.  On a single-core box this
+    # records the cross-process handoff's overhead (the planner workers
+    # share the core with the parent); with real parallelism it records
+    # the overlap benefit.  Either way it is the trajectory's honest
+    # number, not a marketing one.
+    pipelined_seconds = _time_fast_path(acceptance, executor="overlapped")
+    throughput["pipelined"] = {
+        "seconds": round(pipelined_seconds, 4),
+        "batches_per_sec": round(
+            acceptance["batches"] / pipelined_seconds, 2
+        ),
+        "executor": "overlapped",
+    }
+
     # Near-flat select cost vs slot count (best-of-2 on the 1M side, same
     # wall-clock noise argument).
     flatness = min(
@@ -258,9 +284,11 @@ def test_perf_pipeline_throughput_and_speedup():
     ) / throughput["flat_100k"]["seconds"]
 
     data = _load()
-    pr1_bps = _previous_acceptance_bps(data)
+    previous_bps = _previous_acceptance_bps(data)
     new_bps = acceptance["batches"] / fast_seconds
-    speedup_vs_pr1 = new_bps / pr1_bps if pr1_bps else float("nan")
+    speedup_vs_previous = (
+        new_bps / previous_bps if previous_bps else float("nan")
+    )
 
     _record(data, {
         "label": RUN_LABEL,
@@ -270,7 +298,10 @@ def test_perf_pipeline_throughput_and_speedup():
             "batches_per_sec": round(acceptance["batches"] / seed_seconds, 2),
         },
         "speedup_vs_seed_path": round(speedup, 2),
-        "speedup_vs_pr1": round(speedup_vs_pr1, 2),
+        "speedup_vs_previous": {
+            "label": PREVIOUS_LABEL,
+            "ratio": round(speedup_vs_previous, 2),
+        },
         "select_flatness_1m_over_100k": round(flatness, 3),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -279,8 +310,8 @@ def test_perf_pipeline_throughput_and_speedup():
     print(f"\npipeline throughput: {throughput}")
     print(f"seed-path acceptance run: {seed_seconds:.2f}s; "
           f"speedup {speedup:.1f}x (required >= {MIN_ACCEPTANCE_SPEEDUP}x)")
-    print(f"speedup vs PR 1 entry: {speedup_vs_pr1:.2f}x "
-          f"(advisory; cross-run, >= {MIN_SPEEDUP_VS_PR1}x expected on "
+    print(f"speedup vs {PREVIOUS_LABEL} entry: {speedup_vs_previous:.2f}x "
+          f"(advisory; cross-run, >= {MIN_SPEEDUP_VS_PREVIOUS}x expected on "
           "comparable hardware)")
     print(f"select flatness (1M slots / 100k slots): {flatness:.2f}x "
           f"(required <= {MAX_FLATNESS_RATIO}x)")
@@ -292,10 +323,11 @@ def test_perf_pipeline_throughput_and_speedup():
         f"pipeline is only {speedup:.2f}x faster than the seed path at the "
         f"acceptance scale (need >= {MIN_ACCEPTANCE_SPEEDUP}x)"
     )
-    if pr1_bps and os.environ.get("REPRO_STRICT_PERF"):
-        assert speedup_vs_pr1 >= MIN_SPEEDUP_VS_PR1, (
-            f"acceptance throughput is only {speedup_vs_pr1:.2f}x PR 1's "
-            f"recorded {pr1_bps} batches/sec (need >= {MIN_SPEEDUP_VS_PR1}x)"
+    if previous_bps and os.environ.get("REPRO_STRICT_PERF"):
+        assert speedup_vs_previous >= MIN_SPEEDUP_VS_PREVIOUS, (
+            f"acceptance throughput is only {speedup_vs_previous:.2f}x "
+            f"the {PREVIOUS_LABEL} entry's recorded {previous_bps} "
+            f"batches/sec (need >= {MIN_SPEEDUP_VS_PREVIOUS}x)"
         )
     assert flatness <= MAX_FLATNESS_RATIO, (
         f"victim selection cost grew {flatness:.2f}x going from 100k to 1M "

@@ -20,7 +20,12 @@ from repro.analysis.cost import CostRow, multi_gpu_row, scratchpipe_row
 from repro.analysis.locality import access_count_curve, dataset_hit_rate_curves
 from repro.analysis.sweep import SweepPoint, run_grid
 from repro.api.factory import build_system
-from repro.api.specs import CacheSpec, SystemSpec, parse_cache_spec
+from repro.api.specs import (
+    CacheSpec,
+    SystemSpec,
+    parse_cache_spec,
+    uniform_system_spec,
+)
 from repro.core.scratchpad import worst_case_storage_bytes
 from repro.data.datasets import DATASET_PROFILES, LOCALITY_CLASSES
 from repro.data.scenarios import (
@@ -92,6 +97,13 @@ class ExperimentSetup:
             be the geometry the spec maps onto
             (``trace_file.configure(...)``).  Mutually exclusive with a
             non-stationary ``scenario``.
+        executor: Stage-execution backend every point of this setup runs
+            under (``repro.core.executor`` registry).  The default
+            ``"serial"`` keeps spec-less points on the legacy path; any
+            other name makes :meth:`point` attach a full
+            :class:`~repro.api.SystemSpec` carrying the executor, so
+            sweep workers build their systems with it.  All backends are
+            bit-identical — figure output never depends on this field.
     """
 
     config: ModelConfig = field(default_factory=ModelConfig)
@@ -100,6 +112,7 @@ class ExperimentSetup:
     seed: int = 0
     scenario: Optional[ScenarioSpec] = None
     trace_file: Optional[TraceFileSpec] = None
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if (
@@ -111,6 +124,13 @@ class ExperimentSetup:
                 "a file-backed trace replays recorded batches; scenario "
                 "processes cannot be applied on top — drop one of "
                 "trace_file / scenario"
+            )
+        from repro.core.executor import registered_executors
+
+        if self.executor not in registered_executors():
+            raise ExperimentConfigError(
+                f"unknown executor {self.executor!r}; registered: "
+                f"{', '.join(registered_executors())}"
             )
 
     def trace(self, locality: str) -> MaterialisedDataset:
@@ -162,6 +182,23 @@ class ExperimentSetup:
         """
         if system_spec is not None:
             system = system_spec.system
+        if self.executor != "serial":
+            if system_spec is None:
+                # Mirror SweepPoint.resolved_system_spec's synthesis so
+                # the only difference a non-serial setup introduces is
+                # the executor name.
+                fraction: Optional[float] = cache_fraction
+                if system in ("hybrid", "overlapped_hybrid", "multi_gpu"):
+                    fraction = None
+                system_spec = uniform_system_spec(
+                    system, fraction, policy=policy_name
+                )
+            system_spec = replace(
+                system_spec,
+                pipeline=replace(
+                    system_spec.pipeline, executor=self.executor
+                ),
+            )
         return SweepPoint(
             system=system,
             locality=locality,

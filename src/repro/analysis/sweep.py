@@ -75,6 +75,7 @@ from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
     ProcessPoolExecutor,
+    ThreadPoolExecutor,
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
@@ -85,6 +86,7 @@ from pathlib import Path
 from typing import (
     Any,
     Callable,
+    Deque,
     Dict,
     Iterator,
     List,
@@ -148,6 +150,9 @@ TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 #: use to prove workers map shared memory instead of regenerating (or
 #: receiving pickled) traces.
 TRACE_GEN_LOG_ENV = "REPRO_TRACE_GEN_LOG"
+
+#: Override for the trace-publication thread count (``run_grid`` parent).
+PUBLISH_THREADS_ENV = "REPRO_PUBLISH_THREADS"
 
 #: Trace key: everything a worker needs to regenerate a trace from scratch.
 #: The final component addresses a real-trace file; workers re-open the
@@ -481,6 +486,25 @@ def _disk_cacheable(key: TraceKey) -> bool:
     return trace_file is None and (scenario is None or scenario.is_stationary)
 
 
+def _publish_threads(num_keys: int) -> int:
+    """Trace-generation thread count for the publication pipeline."""
+    raw = read_env(PUBLISH_THREADS_ENV)
+    if raw is not None:
+        try:
+            count = int(raw)
+        except ValueError:
+            raise SweepConfigError(
+                f"{PUBLISH_THREADS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if count < 1:
+            raise SweepConfigError(
+                f"{PUBLISH_THREADS_ENV} must be >= 1, got {count}"
+            )
+    else:
+        count = min(4, os.cpu_count() or 1)
+    return min(count, max(num_keys, 1))
+
+
 def _publish_shared_traces(
     points: Sequence[SweepPoint],
     manifest: Dict[TraceKey, Tuple[str, Tuple[int, ...]]],
@@ -499,14 +523,44 @@ def _publish_shared_traces(
     non-stationary scenario traces — are published.  The raw segment
     handling lives in :mod:`repro.analysis.shm` (the one module allowed
     to touch ``multiprocessing.shared_memory``).
+
+    Generation runs on a small thread pool (``REPRO_PUBLISH_THREADS``,
+    default ``min(4, cpus)``): the numpy sampling inside
+    :func:`make_dataset` releases the GIL, so wide grids with several
+    unique traces overlap generation instead of serialising the whole
+    dispatch behind it.  Publication itself stays on the calling thread,
+    in point order — ``manifest``/``segments`` are never touched
+    concurrently and segment creation order is deterministic.  The
+    submission window is bounded by the thread count so the parent never
+    holds more than ``threads + lru`` traces at once.
     """
+    keys: List[TraceKey] = []
+    queued = set()
     for point in points:
         key = point.trace_key
-        if key in manifest:
+        if key in manifest or key in queued:
             continue
         if skip_disk_cacheable and _disk_cacheable(key):
             continue
-        publish_trace(key, _cached_trace(key), manifest, segments)
+        queued.add(key)
+        keys.append(key)
+    if not keys:
+        return
+    threads = _publish_threads(len(keys))
+    if threads == 1 or len(keys) == 1:
+        for key in keys:
+            publish_trace(key, _cached_trace(key), manifest, segments)
+        return
+    window: Deque[Tuple[TraceKey, Future]] = deque()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        for key in keys:
+            window.append((key, pool.submit(_cached_trace, key)))
+            if len(window) > threads:
+                head, future = window.popleft()
+                publish_trace(head, future.result(), manifest, segments)
+        while window:
+            head, future = window.popleft()
+            publish_trace(head, future.result(), manifest, segments)
 
 
 # ----------------------------------------------------------------------

@@ -358,10 +358,16 @@ class PipelineSpec:
         unique_cache: Plan from per-batch cached sorted-unique ID sets
             (the PR 1 fast path; ``False`` reproduces the seed's per-cycle
             recomputation for equivalence runs).
+        executor: Stage-execution backend, by registered name
+            (``repro.core.executor``): ``"serial"`` (default) or
+            ``"overlapped"`` (Plan N+future on dedicated worker
+            processes).  All backends are bit-identical; the choice is
+            purely a throughput strategy.
     """
 
     future_window: int = 2
     unique_cache: bool = True
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if isinstance(self.future_window, bool) or not isinstance(
@@ -375,16 +381,24 @@ class PipelineSpec:
             raise InvalidSystemSpecError(
                 f"unique_cache must be a bool, got {self.unique_cache!r}"
             )
+        from repro.core.executor import registered_executors
+
+        if self.executor not in registered_executors():
+            raise InvalidSystemSpecError(
+                f"unknown executor {self.executor!r}; registered: "
+                f"{', '.join(registered_executors())}"
+            )
 
     def to_dict(self) -> dict:
         return {
             "future_window": self.future_window,
             "unique_cache": self.unique_cache,
+            "executor": self.executor,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "PipelineSpec":
-        unknown = set(data) - {"future_window", "unique_cache"}
+        unknown = set(data) - {"future_window", "unique_cache", "executor"}
         if unknown:
             raise InvalidSystemSpecError(
                 f"unknown pipeline spec fields: {sorted(unknown)}"
@@ -392,6 +406,7 @@ class PipelineSpec:
         return cls(
             future_window=data.get("future_window", 2),
             unique_cache=data.get("unique_cache", True),
+            executor=data.get("executor", "serial"),
         )
 
 

@@ -48,6 +48,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.analysis.cost import cost_saving
+from repro.errors import ExperimentConfigError
 from repro.analysis.experiments import (
     ExperimentSetup,
     effective_warmup,
@@ -143,18 +144,26 @@ TRACE_LOCALITY = "trace"
 
 
 def _setup(args: argparse.Namespace) -> ExperimentSetup:
+    executor = getattr(args, "executor", None) or "serial"
     trace_file = _trace_file(args)
-    if trace_file is None:
-        return ExperimentSetup(
-            num_batches=args.batches, scenario=_scenario(args)
-        )
     try:
+        if trace_file is None:
+            return ExperimentSetup(
+                num_batches=args.batches, scenario=_scenario(args),
+                executor=executor,
+            )
         config = trace_file.configure(ModelConfig())
+    except ExperimentConfigError as error:
+        raise SystemExit(f"invalid --executor: {error}") from None
     except (InvalidTraceFileSpecError, ValueError) as error:
         raise SystemExit(f"invalid --trace geometry: {error}") from None
-    return ExperimentSetup(
-        config=config, num_batches=args.batches, trace_file=trace_file
-    )
+    try:
+        return ExperimentSetup(
+            config=config, num_batches=args.batches, trace_file=trace_file,
+            executor=executor,
+        )
+    except ExperimentConfigError as error:
+        raise SystemExit(f"invalid --executor: {error}") from None
 
 
 def _localities(args: argparse.Namespace, default=LOCALITY_CLASSES):
@@ -208,6 +217,12 @@ def _dynamic_spec(
             raise SystemExit(
                 f"system {spec.system!r} takes no cache; "
                 "--cache-spec does not apply to it"
+            )
+        executor = getattr(args, "executor", None)
+        if executor:
+            spec = dataclasses.replace(
+                spec,
+                pipeline=dataclasses.replace(spec.pipeline, executor=executor),
             )
         return spec
     except (InvalidSystemSpecError, RegistryError) as error:
@@ -774,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="registered system name or JSON SystemSpec "
                              "(compare/timeline; see the systems "
                              "subcommand for names)")
+    parser.add_argument("--executor", default=None,
+                        help="stage-execution backend: 'serial' (default) "
+                             "or 'overlapped' (Plan N+future on worker "
+                             "processes).  Applies to figure commands and "
+                             "to compare/timeline; every backend is "
+                             "bit-identical, so figure output never "
+                             "depends on this flag")
     parser.add_argument("--trace", default=None,
                         help="replay a real trace file through the "
                              "experiment: a known name (see the trace "

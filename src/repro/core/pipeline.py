@@ -20,7 +20,8 @@ from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import PipelineConfigError
+from repro.errors import ExecutorConfigError, PipelineConfigError
+from repro.core.executor import make_executor, registered_executors
 from repro.core.hitmap import EMPTY
 from repro.core.scratchpad import GpuScratchpad, TablePlan
 from repro.data.trace import MiniBatch
@@ -115,6 +116,13 @@ class HazardError(AssertionError):
 #: on these (row-count-sized) arrays.
 _NO_WRITE = np.iinfo(np.int32).min
 
+#: RAW-4 bookkeeping stays a dense per-row cycle array up to this many
+#: rows (32 MB of int32 per table); beyond it the table migrates to the
+#: compact write-back ring.  Dense gathers win handily while the array
+#: fits cache-adjacent memory; the ring caps memory at paper-scale row
+#: universes where a dense array per table would dominate the footprint.
+_DENSE_WRITEBACK_ROWS = 1 << 23
+
 
 @dataclass
 class HazardMonitor:
@@ -126,23 +134,41 @@ class HazardMonitor:
     against them.  ``strict=True`` raises :class:`HazardError` immediately;
     otherwise violations accumulate in :attr:`violations`.
 
-    The default implementation keeps one int64 numpy array per table
-    recording the cycle at which the last scheduled write to each slot
-    (resp. each CPU row) lands; a check is then a fancy-indexed comparison
-    against the reading cycle.  Retirement is *lazy* — a recorded cycle in
-    the past simply never compares as pending again — so
-    :meth:`on_cycle_end` is a no-op.  ``legacy=True`` selects the original
-    per-element dict bookkeeping, retained solely as the oracle for the
-    equivalence tests; the two flag identical violations in identical
-    order.
+    The default implementation keeps one int32 numpy array per table
+    recording the cycle at which the last scheduled write to each *slot*
+    lands (a check is a fancy-indexed comparison against the reading
+    cycle; retirement is lazy — a recorded cycle in the past never
+    compares as pending again).  The CPU-row write-backs of RAW-4 get
+    the same dense treatment while the table's row IDs stay below
+    ``_DENSE_WRITEBACK_ROWS`` — a gather over a few-MB array beats any
+    per-entry probing at that size.  The first larger row ID migrates
+    that table, permanently, to a compact ring of ``(insert_cycle,
+    sorted dirty rows)`` entries: only the plans of the last
+    ``PLAN_TO_INSERT - PLAN_TO_COLLECT`` cycles can have a write-back
+    still in flight, so the ring holds a handful of small sorted arrays
+    and the check is a few ``searchsorted`` membership probes over the
+    miss IDs — no 40 MB-per-table allocation at the paper's 10M-row
+    scale.  The ring relies on the pipeline's contract that per-table
+    ``on_plan`` cycles are non-decreasing (each table is planned once
+    per cycle, in cycle order), which lets retired entries be pruned as
+    soon as they fall behind the reading cycle.  ``legacy=True``
+    selects the original per-element dict bookkeeping, retained solely
+    as the oracle for the equivalence tests; all paths flag identical
+    violations in identical order.
     """
 
     strict: bool = True
     legacy: bool = False
     violations: List[str] = field(default_factory=list)
-    # Vectorised state: table -> int64 pending-write cycle per slot / row.
+    # Vectorised state: table -> int32 pending-write cycle per slot and
+    # per row (small row universes), and table -> ring of (insert_cycle,
+    # sorted dirty row IDs) entries for the in-flight CPU write-backs of
+    # tables migrated past ``_DENSE_WRITEBACK_ROWS``.
     _slot_write_cycles: Dict[int, np.ndarray] = field(default_factory=dict)
     _writeback_cycles: Dict[int, np.ndarray] = field(default_factory=dict)
+    _recent_writebacks: Dict[int, List[Tuple[int, np.ndarray]]] = field(
+        default_factory=dict
+    )
     # Legacy state: (table, slot) -> cycle of the last scheduled write not
     # yet retired, and (table, row_id) -> cycle the write-back lands.
     _pending_slot_writes: Dict[Tuple[int, int], int] = field(default_factory=dict)
@@ -165,6 +191,29 @@ class HazardMonitor:
             grown[: array.size] = array
             store[table] = array = grown
         return array
+
+    def _migrate_writebacks(
+        self, table: int, collect_cycle: int
+    ) -> List[Tuple[int, np.ndarray]]:
+        """Convert a table's dense RAW-4 state into ring entries.
+
+        Runs once, on the first row ID at or past
+        ``_DENSE_WRITEBACK_ROWS``; only write-backs still in flight
+        (landing at or after ``collect_cycle``) are carried over.
+        ``flatnonzero`` yields ascending rows, so each group is already
+        the sorted array the ring's probes require, and ascending cycle
+        order preserves the freshest-write-wins probe sequence.
+        """
+        dense = self._writeback_cycles.pop(table, None)
+        entries: List[Tuple[int, np.ndarray]] = []
+        if dense is not None:
+            live = np.flatnonzero(dense >= collect_cycle)
+            live_cycles = dense[live]
+            for cycle in np.unique(live_cycles):
+                entries.append(
+                    (int(cycle), live[live_cycles == cycle].astype(np.int64))
+                )
+        return entries
 
     def on_plan(self, cycle: int, table: int, plan: TablePlan) -> None:
         """Validate and register one table-plan produced at ``cycle``."""
@@ -197,18 +246,48 @@ class HazardMonitor:
 
         # RAW-4: a missed ID read from the CPU table at [Collect] must not
         # have a write-back landing at or after the read.
-        writebacks: Optional[np.ndarray] = None
-        if miss_ids.size or evicted.size:
-            max_row = max(miss_ids.max(initial=-1), evicted.max(initial=-1))
-            writebacks = self._grown(self._writeback_cycles, table, int(max_row) + 1)
-        if miss_ids.size:
-            pending = writebacks[miss_ids]
-            for i in np.flatnonzero(pending >= collect_cycle):
-                self._flag(
-                    f"RAW-4: row {int(miss_ids[i])} of table {table} read "
-                    f"from the CPU table at cycle {collect_cycle} while its "
-                    f"write-back lands at cycle {int(pending[i])}"
-                )
+        max_row = int(max(miss_ids.max(initial=-1), evicted.max(initial=-1)))
+        if table not in self._recent_writebacks and (
+            max_row < _DENSE_WRITEBACK_ROWS
+        ):
+            row_writes = (
+                self._grown(self._writeback_cycles, table, max_row + 1)
+                if max_row >= 0
+                else None
+            )
+            if miss_ids.size:
+                pending = row_writes[miss_ids]
+                for i in np.flatnonzero(pending >= collect_cycle):
+                    self._flag(
+                        f"RAW-4: row {int(miss_ids[i])} of table {table} read "
+                        f"from the CPU table at cycle {collect_cycle} while its "
+                        f"write-back lands at cycle {int(pending[i])}"
+                    )
+        else:
+            # Ring mode: entries whose write-back lands before this plan's
+            # [Collect] can never flag again (per-table cycles are
+            # non-decreasing), so they are pruned; survivors are probed
+            # oldest-first so the freshest write-back wins, matching the
+            # dense array's last-scatter semantics.
+            entries = self._recent_writebacks.get(table)
+            if entries is None:
+                entries = self._migrate_writebacks(table, collect_cycle)
+            row_writes = None
+            live = [entry for entry in entries if entry[0] >= collect_cycle]
+            self._recent_writebacks[table] = entries = live
+            if entries and miss_ids.size:
+                pending = np.full(miss_ids.size, _NO_WRITE, dtype=np.int64)
+                for insert_at, rows in entries:
+                    positions = np.minimum(
+                        np.searchsorted(rows, miss_ids), rows.size - 1
+                    )
+                    pending[rows[positions] == miss_ids] = insert_at
+                for i in np.flatnonzero(pending >= collect_cycle):
+                    self._flag(
+                        f"RAW-4: row {int(miss_ids[i])} of table {table} read "
+                        f"from the CPU table at cycle {collect_cycle} while its "
+                        f"write-back lands at cycle {int(pending[i])}"
+                    )
 
         # Register this batch's future writes.  Every planned slot ends at
         # the [Train] write cycle: fill slots' earlier [Insert] writes are
@@ -223,7 +302,12 @@ class HazardMonitor:
             dirty = evicted[: fill_slots.size]
             dirty = dirty[dirty != EMPTY]
             if dirty.size:
-                writebacks[dirty] = insert_cycle
+                if row_writes is not None:
+                    row_writes[dirty] = insert_cycle
+                else:
+                    self._recent_writebacks.setdefault(table, []).append(
+                        (insert_cycle, np.sort(dirty))
+                    )
 
     def _on_plan_legacy(self, cycle: int, table: int, plan: TablePlan) -> None:
         """Original dict-based bookkeeping (equivalence-test oracle)."""
@@ -380,6 +464,11 @@ class ScratchPipePipeline:
             Produces bit-identical plans; ``False`` reproduces the original
             per-cycle recomputation and exists for the equivalence tests
             and the perf harness's before/after comparison.
+        executor: Execution strategy, by registered name
+            (:mod:`repro.core.executor`): ``"serial"`` runs every stage in
+            the calling process; ``"overlapped"`` runs Plan N+future on
+            dedicated worker processes while Collect/Insert/Train retire
+            here.  All executors produce bit-identical results.
     """
 
     config: ModelConfig
@@ -390,8 +479,14 @@ class ScratchPipePipeline:
     future_window: int = 2
     monitor: Optional[HazardMonitor] = None
     unique_cache: bool = True
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
+        if self.executor not in registered_executors():
+            raise ExecutorConfigError(
+                f"unknown executor {self.executor!r}; registered: "
+                f"{', '.join(registered_executors())}"
+            )
         if len(self.scratchpads) != self.config.num_tables:
             raise PipelineConfigError(
                 f"need one scratchpad per table ({self.config.num_tables}), "
@@ -425,38 +520,49 @@ class ScratchPipePipeline:
         for stale in [k for k in self._batch_cache if k < index]:
             del self._batch_cache[stale]
 
-    def _do_plan(self, record: _InFlight, cycle: int) -> None:
-        future_batches = []
+    def _future_batches(self, index: int) -> List[MiniBatch]:
+        """The batches the plan of batch ``index`` must protect."""
         n = len(self.dataset_batches)
-        for offset in range(1, self.future_window + 1):
-            index = record.batch.index + offset
-            if index < n:
-                future_batches.append(self._get_batch(index))
+        return [
+            self._get_batch(index + offset)
+            for offset in range(1, self.future_window + 1)
+            if index + offset < n
+        ]
+
+    def _plan_table(
+        self, table: int, batch: MiniBatch, future_batches: List[MiniBatch]
+    ) -> TablePlan:
+        """Plan one table of one batch (the per-table unit of Plan work —
+        also the unit the overlapped executor shards across workers)."""
+        scratchpad = self.scratchpads[table]
+        future_ids: Optional[object] = None
+        if self.unique_cache:
+            # Each batch's sorted-unique IDs are computed once (cached
+            # on the MiniBatch) and shared between its own Plan and the
+            # future windows of the two preceding Plans.  The per-batch
+            # sets are handed over as a list — the Plan stage only
+            # flags their slots, so neither concatenating nor
+            # deduplicating across batches would change anything.
+            if future_batches:
+                future_ids = [
+                    b.unique_table_ids(table) for b in future_batches
+                ]
+            return scratchpad.plan_batch(
+                batch.unique_table_ids(table),
+                future_ids,
+                presorted_unique=True,
+            )
+        if future_batches:
+            future_ids = np.concatenate(
+                [b.table_ids(table) for b in future_batches]
+            )
+        return scratchpad.plan_batch(batch.sparse_ids[table], future_ids)
+
+    def _do_plan(self, record: _InFlight, cycle: int) -> None:
         batch = record.batch
-        for table, scratchpad in enumerate(self.scratchpads):
-            future_ids: Optional[object] = None
-            if self.unique_cache:
-                # Each batch's sorted-unique IDs are computed once (cached
-                # on the MiniBatch) and shared between its own Plan and the
-                # future windows of the two preceding Plans.  The per-batch
-                # sets are handed over as a list — the Plan stage only
-                # flags their slots, so neither concatenating nor
-                # deduplicating across batches would change anything.
-                if future_batches:
-                    future_ids = [
-                        b.unique_table_ids(table) for b in future_batches
-                    ]
-                plan = scratchpad.plan_batch(
-                    batch.unique_table_ids(table),
-                    future_ids,
-                    presorted_unique=True,
-                )
-            else:
-                if future_batches:
-                    future_ids = np.concatenate(
-                        [b.table_ids(table) for b in future_batches]
-                    )
-                plan = scratchpad.plan_batch(batch.sparse_ids[table], future_ids)
+        future_batches = self._future_batches(batch.index)
+        for table in range(self.config.num_tables):
+            plan = self._plan_table(table, batch, future_batches)
             record.plans.append(plan)
             if self.monitor is not None:
                 self.monitor.on_plan(cycle, table, plan)
@@ -541,6 +647,10 @@ class ScratchPipePipeline:
                 functional-mode training loss.  Kept per-invocation (not
                 on the pipeline object) so interleaved or abandoned
                 streams cannot contaminate one another.
+
+        Which process runs which stage is delegated to the configured
+        :attr:`executor` (``repro.core.executor``); every backend yields
+        bit-identical statistics in identical order.
         """
         total = len(self.dataset_batches)
         if num_batches is None:
@@ -549,7 +659,14 @@ class ScratchPipePipeline:
             raise PipelineConfigError(
                 f"num_batches must be in [1, {total}], got {num_batches}"
             )
+        yield from make_executor(self.executor).stream(self, num_batches, losses)
 
+    def _stream_cycles(
+        self,
+        num_batches: int,
+        losses: Optional[List[float]] = None,
+    ) -> Iterator[BatchCacheStats]:
+        """The serial cycle loop (the ``"serial"`` executor's body)."""
         in_flight: Dict[int, _InFlight] = {}
 
         last_cycle = num_batches - 1 + len(STAGES) - 1

@@ -192,15 +192,24 @@ class _CandidateBuckets:
                     fresh = chunk[scores[chunk] == key]
                     if not fresh.size:
                         continue
-                    eligible = fresh[release_stamps[fresh] <= clock]
-                    if exclude is not None and eligible.size:
-                        eligible = eligible[~exclude.mask(eligible)]
-                    if eligible.size:
-                        grab = eligible[:need]
-                        taken.append(grab)
-                        got += grab.size
-                        need -= grab.size
                     new_parts.append(fresh)
+                    # Validate eligibility in need-sized slices: the first
+                    # slice usually satisfies the walk (stale entries are
+                    # gone, holds rarely bite), so the stamp/exclusion
+                    # gathers touch ~need elements instead of the whole
+                    # chunk.
+                    fresh_pos = 0
+                    while fresh_pos < fresh.size and need > 0:
+                        sub = fresh[fresh_pos:fresh_pos + need]
+                        fresh_pos += sub.size
+                        eligible = sub[release_stamps[sub] <= clock]
+                        if exclude is not None and eligible.size:
+                            eligible = eligible[~exclude.mask(eligible)]
+                        if eligible.size:
+                            grab = eligible[:need]
+                            taken.append(grab)
+                            got += grab.size
+                            need -= grab.size
                 if position < part.size:
                     new_parts.append(part[position:])
             if new_parts:

@@ -32,6 +32,9 @@ __all__ = [
     "UncachedKeyError",
     "HoldMaskConfigError",
     "PipelineConfigError",
+    "ExecutorConfigError",
+    "ExecutorUnavailableError",
+    "ExecutorWorkerError",
     "ScratchpadConfigError",
     "ScratchpadStateError",
     "PlanCoverageError",
@@ -107,6 +110,20 @@ class HoldMaskConfigError(ValueError):
 
 class PipelineConfigError(ValueError):
     """Pipeline construction arguments are invalid."""
+
+
+class ExecutorConfigError(ValueError):
+    """A stage executor was requested by an unknown name, registered
+    twice, or configured with invalid arguments."""
+
+
+class ExecutorUnavailableError(RuntimeError):
+    """The requested stage executor cannot run on this platform (the
+    overlapped backend needs the ``fork`` start method)."""
+
+
+class ExecutorWorkerError(RuntimeError):
+    """A Plan-ahead worker process died or broke the message protocol."""
 
 
 class ScratchpadConfigError(ValueError):

@@ -23,6 +23,7 @@ __all__ = [
     "SpecPurityRule",
     "ErrorTaxonomyRule",
     "ShmDisciplineRule",
+    "ProcessDisciplineRule",
     "EnvDisciplineRule",
     "WorkerCaptureRule",
 ]
@@ -495,6 +496,74 @@ class ShmDisciplineRule(LintRule):
                         "direct multiprocessing.shared_memory use outside "
                         "the _PublishedTraces manager module "
                         "(repro/analysis/shm.py)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# process-discipline
+# ----------------------------------------------------------------------
+#: The ``multiprocessing`` surfaces that *spawn* processes.  Inspection
+#: helpers (``get_start_method``, ``current_process``,
+#: ``get_all_start_methods``, ``resource_tracker``) stay allowed
+#: everywhere — they observe process state, they don't create it.
+_SPAWN_PRIMITIVES = frozenset({"Process", "get_context", "Pool", "Manager"})
+
+
+@register_rule
+class ProcessDisciplineRule(LintRule):
+    """Raw ``multiprocessing`` process spawning only in the executor.
+
+    Worker processes need the full lifecycle treatment the overlapped
+    executor implements — liveness polling against a dead child,
+    terminate+join on every exit path, queue teardown that cannot
+    deadlock on the feeder thread.  A stray ``mp.Process`` elsewhere gets
+    none of that and hangs CI on the first crashed child.  Process
+    creation (``Process``, ``get_context``, ``Pool``, ``Manager``) is
+    confined to ``repro/core/executor.py``; pool-shaped parallelism goes
+    through ``concurrent.futures`` (which owns its worker lifecycle), and
+    introspection calls like ``get_start_method`` remain free.
+    """
+
+    name = "process-discipline"
+    description = (
+        "multiprocessing process spawning (Process/get_context/Pool/"
+        "Manager) only inside repro/core/executor.py"
+    )
+
+    allowed_modules: Tuple[str, ...] = ("repro/core/executor.py",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if _allowed_path(module.rel, self.allowed_modules):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in ("multiprocessing",
+                                   "multiprocessing.context"):
+                    for name in node.names:
+                        if name.name in _SPAWN_PRIMITIVES:
+                            yield module.finding(
+                                node, self.name,
+                                f"importing multiprocessing.{name.name} "
+                                "outside the executor module "
+                                "(repro/core/executor.py); spawn workers "
+                                "through an Executor backend or "
+                                "concurrent.futures",
+                            )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted_name(node, aliases)
+                if dotted is None:
+                    continue
+                head, _, tail = dotted.rpartition(".")
+                if (
+                    head in ("multiprocessing", "multiprocessing.context")
+                    and tail in _SPAWN_PRIMITIVES
+                ):
+                    yield module.finding(
+                        node, self.name,
+                        f"direct {dotted} use outside the executor module "
+                        "(repro/core/executor.py); spawn workers through "
+                        "an Executor backend or concurrent.futures",
                     )
 
 

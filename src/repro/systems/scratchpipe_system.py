@@ -280,6 +280,7 @@ class ScratchPipeSystem(TrainingSystem):
         self.num_slots = max(self.table_slots)
         self.policy_name = spec.cache.policy
         self.future_window = spec.pipeline.future_window
+        self.executor = spec.pipeline.executor
         self._scratchpads: Optional[List[GpuScratchpad]] = None
 
     @classmethod
@@ -342,6 +343,7 @@ class ScratchPipeSystem(TrainingSystem):
             future_window=self.future_window,
             monitor=monitor,
             unique_cache=self.spec.pipeline.unique_cache,
+            executor=self.executor,
         )
         return pipeline.run(num_batches).cache_stats
 
@@ -365,6 +367,7 @@ class ScratchPipeSystem(TrainingSystem):
             future_window=self.future_window,
             monitor=monitor,
             unique_cache=self.spec.pipeline.unique_cache,
+            executor=self.executor,
         )
         return pipeline.stream(num_batches)
 
@@ -507,6 +510,7 @@ class ScratchPipeTrainingRun:
     policy_name: Union[str, Sequence[str]] = "lru"
     future_window: int = 2
     monitor: Optional[HazardMonitor] = None
+    executor: str = "serial"
     scratchpads: List[GpuScratchpad] = field(init=False)
     trainer: ScratchPipeTrainer = field(init=False)
 
@@ -552,6 +556,7 @@ class ScratchPipeTrainingRun:
             policy_name=tuple(r.policy for r in resolved),
             future_window=spec.pipeline.future_window,
             monitor=monitor,
+            executor=spec.pipeline.executor,
         )
 
     def run(self, dataset_batches: object, num_batches: Optional[int] = None):
@@ -564,6 +569,7 @@ class ScratchPipeTrainingRun:
             trainer=self.trainer,
             future_window=self.future_window,
             monitor=self.monitor,
+            executor=self.executor,
         )
         return pipeline.run(num_batches)
 

@@ -14,6 +14,9 @@ Instrumented sites (grow this list as subsystems gain hooks):
   the *detail* is the point label (``system:locality:cache:metric``).
 * ``"pipeline.stage"`` — the ScratchPipe metadata pipeline's Plan stage
   (detail ``"plan:<batch>"``), firing *inside* a running evaluation.
+* ``"pipeline.executor"`` — the overlapped executor's planner workers
+  (detail ``"plan:<batch>:shard:<shard>"``), firing in the *child*
+  process; kill/stall here exercises the parent's liveness watchdog.
 * ``"fetch.read"``     — each download attempt of
   :func:`repro.data.fetch.fetch_trace` (detail: the URL).
 

@@ -177,7 +177,8 @@ class TestRegistry:
         names = {cls.name for cls in registered_rules()}
         assert names >= {
             "determinism", "set-order", "spec-purity", "error-taxonomy",
-            "shm-discipline", "env-discipline", "worker-capture",
+            "shm-discipline", "process-discipline", "env-discipline",
+            "worker-capture",
         }
 
     def test_rule_class_lookup(self):

@@ -56,7 +56,8 @@ class TestModuleEntryPoint:
         proc = run_lint_cli(["--list-rules"], cwd=project)
         assert proc.returncode == 0
         for name in ("determinism", "set-order", "spec-purity",
-                     "error-taxonomy", "shm-discipline", "env-discipline",
+                     "error-taxonomy", "shm-discipline",
+                     "process-discipline", "env-discipline",
                      "worker-capture"):
             assert name in proc.stdout
 

@@ -249,6 +249,52 @@ class TestShmDiscipline:
         assert run.clean
 
 
+class TestProcessDiscipline:
+    @pytest.mark.parametrize("stmt", [
+        "from multiprocessing import Process",
+        "from multiprocessing import get_context",
+        "from multiprocessing import Pool, Manager",
+    ])
+    def test_spawn_imports_flagged(self, tmp_path, stmt):
+        run = lint_source(tmp_path, stmt + "\n", "process-discipline")
+        assert "process-discipline" in rules_found(run)
+
+    def test_attribute_spawn_flagged(self, tmp_path):
+        run = lint_source(tmp_path, """\
+            import multiprocessing as mp
+
+            def launch(fn):
+                worker = mp.Process(target=fn)
+                worker.start()
+                return mp.get_context("fork")
+            """, "process-discipline")
+        assert len(run.findings) == 2
+
+    def test_introspection_allowed(self, tmp_path):
+        # shm.py's resource-tracker dance must stay clean: observing
+        # process state is fine, creating processes is not.
+        run = lint_source(tmp_path, """\
+            import multiprocessing
+
+            def tracked():
+                if multiprocessing.get_start_method(allow_none=True) != "fork":
+                    from multiprocessing import resource_tracker
+                    return resource_tracker
+                return multiprocessing.current_process().daemon
+            """, "process-discipline")
+        assert run.clean
+
+    def test_executor_module_allowed(self, tmp_path):
+        run = lint_source(tmp_path, """\
+            import multiprocessing
+
+            def spawn(fn):
+                context = multiprocessing.get_context("fork")
+                return context.Process(target=fn, daemon=True)
+            """, "process-discipline", rel="repro/core/executor.py")
+        assert run.clean
+
+
 class TestEnvDiscipline:
     def test_environ_and_getenv_flagged(self, tmp_path):
         run = lint_source(tmp_path, """\
